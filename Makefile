@@ -1,0 +1,25 @@
+# Convenience targets for the TensorKMC reproduction.
+
+.PHONY: install test bench examples snapshot
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/train_nnp.py --fast
+	python examples/cu_precipitation.py --steps 4000
+	python examples/parallel_sublattice.py --cycles 16
+	python examples/vacancy_diffusion.py
+	python examples/ternary_alloy.py --steps 3000
+	python examples/aging_campaign.py --steps 2000
+
+snapshot:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

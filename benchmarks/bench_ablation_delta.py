@@ -1,0 +1,68 @@
+"""Ablation — full 9-state feature rebuild vs incremental delta evaluation.
+
+The paper's fast feature operator rebuilds features for all 1 + N_f states
+(Sec. 3.4) — on the CPE cluster that batch shape is what saturates the SIMD
+pipes.  In a NumPy implementation the alternative of patching only the
+affected sites per direction wins at the standard cutoff; this bench
+quantifies that trade and verifies exact agreement between the two paths.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.constants import CU, FE, VACANCY
+from repro.core.tet import TripleEncoding
+from repro.core.vacancy_system import VacancySystemEvaluator
+from repro.io.report import ExperimentReport
+from repro.lattice import LatticeState
+from repro.potentials import EAMPotential
+
+
+def _setup(rcut):
+    tet = TripleEncoding(rcut=rcut)
+    potential = EAMPotential(tet.shell_distances)
+    evaluator = VacancySystemEvaluator(tet, potential)
+    lattice = LatticeState((10, 10, 10))
+    rng = np.random.default_rng(5)
+    lattice.occupancy[:] = np.where(rng.random(lattice.n_sites) < 0.1, CU, FE)
+    vac = lattice.site_id(0, 5, 5, 5)
+    lattice.occupancy[vac] = VACANCY
+    vet = lattice.occupancy[lattice.neighbor_ids(vac, tet.all_offsets)]
+    return evaluator, vet
+
+
+def _time(fn, n=15):
+    t0 = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return (time.perf_counter() - t0) / n
+
+
+def test_ablation_delta_evaluation(experiment_reports, benchmark):
+    report = ExperimentReport(
+        "Ablation: delta evaluation", "full 9-state rebuild vs affected-site patch"
+    )
+    for rcut in (2.87, 6.5):
+        evaluator, vet = _setup(rcut)
+        full = evaluator.evaluate(vet)
+        fast = evaluator.evaluate_delta(vet)
+        agree = np.allclose(fast.delta, full.delta, atol=1e-9)
+        assert agree
+        t_full = _time(lambda: evaluator.evaluate(vet))
+        t_delta = _time(lambda: evaluator.evaluate_delta(vet))
+        report.add(
+            f"r_cut = {rcut} A",
+            "exact agreement required",
+            f"agree to 1e-9; full {t_full * 1e3:.2f} ms vs delta "
+            f"{t_delta * 1e3:.2f} ms ({t_full / t_delta:.2f}x)",
+        )
+        if rcut > 3.0:
+            # The delta path must win where the paper's workload lives.
+            assert t_delta < t_full
+    experiment_reports(report)
+
+    evaluator, vet = _setup(6.5)
+    benchmark(lambda: evaluator.evaluate_delta(vet))

@@ -1,0 +1,67 @@
+"""Ablation — tree vs linear propensity updates ("tree strategy", Sec. 4.4).
+
+The paper uses a tree strategy for propensity updates in all scalability
+runs.  This bench measures the update+select cost of the Fenwick tree against
+the linear cumulative scan as the vacancy count grows, confirming the
+O(log n) vs O(n) crossover that motivates the tree at mesoscale vacancy
+populations.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.propensity import FenwickPropensity, LinearPropensity
+from repro.io.report import ExperimentReport
+
+
+def _workload(store, n_slots, n_ops, rng):
+    values = rng.random(n_slots) + 0.01
+    for i, v in enumerate(values):
+        store.update(i, v)
+    t0 = time.perf_counter()
+    for _ in range(n_ops):
+        slot, _ = store.select(rng.random() * store.total * 0.999999)
+        store.update(slot, rng.random() + 0.01)
+    return time.perf_counter() - t0
+
+
+def test_ablation_propensity(experiment_reports, benchmark):
+    rng = np.random.default_rng(0)
+    n_ops = 400
+    sizes = [64, 1024, 16384]
+    rows = {}
+    for n in sizes:
+        t_lin = _workload(LinearPropensity(n), n, n_ops, np.random.default_rng(1))
+        t_fen = _workload(FenwickPropensity(n), n, n_ops, np.random.default_rng(1))
+        rows[n] = (t_lin, t_fen)
+
+    report = ExperimentReport(
+        "Ablation: propensity tree", "Fenwick tree vs linear scan (update+select)"
+    )
+    for n, (t_lin, t_fen) in rows.items():
+        report.add(
+            f"{n} vacancies",
+            "tree wins at scale",
+            f"linear {t_lin * 1e3:.1f} ms vs tree {t_fen * 1e3:.1f} ms "
+            f"({t_lin / t_fen:.1f}x)",
+        )
+    experiment_reports(report)
+
+    # At mesoscale vacancy counts the tree must win clearly.
+    t_lin, t_fen = rows[16384]
+    assert t_fen < t_lin
+
+    # Timed kernel: tree ops at the largest size.
+    store = FenwickPropensity(16384)
+    values = rng.random(16384) + 0.01
+    for i, v in enumerate(values):
+        store.update(i, v)
+
+    def tree_op():
+        slot, _ = store.select(rng.random() * store.total * 0.999999)
+        store.update(slot, rng.random() + 0.01)
+
+    benchmark(tree_op)

@@ -1,0 +1,61 @@
+"""Ablation — synchronisation interval t_stop sweep.
+
+The paper fixes a deliberately strict t_stop = 2e-8 s in all scalability
+tests and notes that practical runs can raise it to cut communication
+(Sec. 4.4).  This bench sweeps t_stop on a real multi-rank run and reports
+the trade: larger intervals execute more events per ghost exchange (less
+communication per event) at the cost of a longer desynchronised window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.io.report import ExperimentReport
+from repro.lattice import LatticeState
+from repro.parallel import SublatticeKMC
+
+SWEEP = (5e-11, 2e-10, 8e-10)
+N_CYCLES = 16
+
+
+def _run(t_stop, tet, potential, seed=13):
+    lattice = LatticeState((16, 12, 12))
+    lattice.randomize_alloy(np.random.default_rng(seed), 0.0134, 0.004)
+    sim = SublatticeKMC(
+        lattice, potential, tet, n_ranks=2, temperature=900.0,
+        t_stop=t_stop, seed=seed,
+    )
+    sim.run(N_CYCLES)
+    events = max(sim.total_events, 1)
+    return {
+        "events": sim.total_events,
+        "rejected": sum(c.rejected for c in sim.cycles),
+        "messages_per_event": sim.world.stats.messages_sent / events,
+        "bytes_per_event": sim.world.stats.bytes_sent / events,
+    }
+
+
+def test_ablation_tstop(tet_small, nnp_tiny, experiment_reports, benchmark):
+    results = {t: _run(t, tet_small, nnp_tiny) for t in SWEEP}
+
+    report = ExperimentReport(
+        "Ablation: t_stop sweep", "sync interval vs communication per event"
+    )
+    for t, r in results.items():
+        report.add(
+            f"t_stop = {t:.0e} s",
+            "larger -> less comm/event",
+            f"{r['events']} events, {r['rejected']} rejected, "
+            f"{r['messages_per_event']:.1f} msgs/event",
+        )
+    experiment_reports(report)
+
+    # More simulated time per cycle -> more events for the same cycle count.
+    events = [results[t]["events"] for t in SWEEP]
+    assert events[0] < events[-1]
+    # And strictly less communication per executed event.
+    msgs = [results[t]["messages_per_event"] for t in SWEEP]
+    assert msgs[-1] < msgs[0]
+
+    benchmark(lambda: _run(SWEEP[1], tet_small, nnp_tiny))

@@ -1,0 +1,126 @@
+"""Physics validation — the KMC chain samples the Boltzmann distribution.
+
+The rate law (Eq. 2's half-delta rule) satisfies detailed balance with the
+total lattice energy, so a long trajectory must spend time in each
+configuration class proportionally to its Boltzmann weight.  We check this
+exactly solvable case: one vacancy + one Cu atom in a periodic Fe box.  By
+translation symmetry every configuration is classified by the vacancy-Cu
+displacement shell; the exact stationary distribution is enumerable
+(multiplicity x exp(-E/kT) over all 127 relative displacements), and the
+simulated time-weighted shell occupancy must match it.
+
+This goes beyond the paper's validation (Fig. 8 checks engine equivalence,
+not thermodynamics) — it pins the sampled ensemble itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.constants import CU, FE, KB_EV, VACANCY
+from repro.core import TensorKMCEngine
+from repro.io.report import ExperimentReport
+from repro.lattice import LatticeState
+from repro.potentials import counts_from_types
+
+BOX = (4, 4, 4)
+TEMPERATURE = 1100.0  # hot -> fast mixing between shells
+N_STEPS = 12000
+
+
+def _total_energy(lattice, potential, tet):
+    ids = np.arange(lattice.n_sites)
+    half = lattice.half_coords(ids)
+    nb = lattice.ids_from_half(half[:, None, :] + tet.cet_offsets[None, :, :])
+    counts = counts_from_types(lattice.occupancy[nb], tet.cet_shell, tet.n_shells)
+    return potential.region_energy(lattice.occupancy[ids], counts)
+
+
+def _shell_of_displacement(lattice, vac, cu, tet) -> int:
+    """Shell index of the vacancy-Cu separation; -1 for beyond the shells."""
+    d = np.linalg.norm(lattice.minimum_image_displacement(vac, cu))
+    for s, dist in enumerate(tet.shell_distances):
+        if abs(d - dist) < 1e-6:
+            return s
+    return -1
+
+
+def exact_distribution(tet, potential) -> Dict[int, float]:
+    """Boltzmann shell probabilities by explicit enumeration."""
+    lattice = LatticeState(BOX)
+    vac = lattice.site_id(0, 0, 0, 0)
+    beta = 1.0 / (KB_EV * TEMPERATURE)
+    energies, shells = [], []
+    for cu in range(lattice.n_sites):
+        if cu == vac:
+            continue
+        lattice.occupancy[:] = FE
+        lattice.occupancy[vac] = VACANCY
+        lattice.occupancy[cu] = CU
+        energies.append(_total_energy(lattice, potential, tet))
+        shells.append(_shell_of_displacement(lattice, vac, cu, tet))
+    energies = np.asarray(energies)
+    boltzmann = np.exp(-beta * (energies - energies.min()))
+    weights: Dict[int, float] = {}
+    for shell, w in zip(shells, boltzmann):
+        weights[shell] = weights.get(shell, 0.0) + float(w)
+    total = sum(weights.values())
+    return {s: w / total for s, w in weights.items()}
+
+
+def simulated_distribution(tet, potential, seed=0) -> Dict[int, float]:
+    """Time-weighted shell occupancy of a long KMC trajectory."""
+    lattice = LatticeState(BOX)
+    lattice.occupancy[:] = FE
+    vac = lattice.site_id(0, 2, 2, 2)
+    cu = lattice.site_id(1, 0, 0, 0)
+    lattice.occupancy[vac] = VACANCY
+    lattice.occupancy[cu] = CU
+    engine = TensorKMCEngine(
+        lattice, potential, tet, temperature=TEMPERATURE,
+        rng=np.random.default_rng(seed),
+    )
+    occupancy: Dict[int, float] = {}
+
+    def current_shell() -> int:
+        vac_now = int(lattice.vacancy_ids[0])
+        cu_now = int(lattice.sites_of_species(CU)[0])
+        return _shell_of_displacement(lattice, vac_now, cu_now, tet)
+
+    shell = current_shell()
+    for _ in range(N_STEPS):
+        event = engine.step()
+        # dt is the waiting time spent in the *pre-hop* configuration.
+        occupancy[shell] = occupancy.get(shell, 0.0) + event.dt
+        shell = current_shell()
+    total = sum(occupancy.values())
+    return {s: w / total for s, w in occupancy.items()}
+
+
+def test_equilibrium_sampling(tet_small, eam_small, experiment_reports, benchmark):
+    exact = exact_distribution(tet_small, eam_small)
+    simulated = simulated_distribution(tet_small, eam_small)
+
+    report = ExperimentReport(
+        "Validation: Boltzmann sampling",
+        "vacancy-Cu shell occupancy, exact enumeration vs 12k-event trajectory",
+    )
+    labels = {0: "1NN", 1: "2NN", -1: "beyond 2NN"}
+    for shell in sorted(exact, key=lambda s: (s < 0, s)):
+        report.add(
+            f"P({labels.get(shell, f'shell {shell}')})",
+            f"{exact[shell]:.4f} (exact)",
+            f"{simulated.get(shell, 0.0):.4f} (KMC)",
+        )
+    experiment_reports(report)
+
+    for shell, p_exact in exact.items():
+        p_sim = simulated.get(shell, 0.0)
+        assert p_sim == p_exact or abs(p_sim - p_exact) < max(
+            0.25 * p_exact, 0.02
+        ), f"shell {shell}: {p_sim} vs {p_exact}"
+
+    # Timed kernel: one enumeration of the exact distribution.
+    benchmark(lambda: exact_distribution(tet_small, eam_small))

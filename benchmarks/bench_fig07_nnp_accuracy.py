@@ -1,0 +1,103 @@
+"""Fig. 7 — NNP vs 'DFT' parity: energies and atomic forces.
+
+Paper: MAE 2.9 meV/atom (energy) and 0.04 eV/A (force); R^2 scores 0.998 and
+0.880 on the held-out test split of 540 Fe-Cu structures (400 train).
+
+We generate the same ensemble labelled by the EAM oracle (the FHI-aims
+substitution, see DESIGN.md) and train the paper's architecture from scratch
+in two phases: an energy-only pre-train, then fine-tuning with the exact
+double-backprop force loss.  The budget is sized for a single laptop core,
+so parities land in the paper's regime rather than at identical decimals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import PAPER_CHANNELS
+from repro.io.report import ExperimentReport
+from repro.nnp import (
+    ElementNetworks,
+    NNPotential,
+    NNPTrainer,
+    generate_structures,
+    parity_report,
+    train_test_split,
+)
+from repro.potentials import EAMPotential, FeatureTable
+
+#: Scaled-down ensemble: same 64-site cells, fewer structures than 540 to
+#: keep the single-core runtime in minutes.
+N_STRUCTURES = 180
+N_TRAIN = 140
+N_EPOCHS_ENERGY = 100
+N_EPOCHS_FORCE = 25
+FORCE_WEIGHT = 2.0
+
+
+@pytest.fixture(scope="module")
+def trained():
+    from repro.core.tet import TripleEncoding
+
+    tet = TripleEncoding(rcut=6.5)
+    oracle = EAMPotential(tet.shell_distances)
+    rng = np.random.default_rng(7)
+    structures = generate_structures(oracle, rng, n_structures=N_STRUCTURES)
+    train, test = train_test_split(structures, rng, n_train=N_TRAIN)
+
+    table = FeatureTable(tet.shell_distances)
+    nets = ElementNetworks(PAPER_CHANNELS, rng)
+    model = NNPotential(table, nets, rcut=6.5)
+    trainer = NNPTrainer(model, train)
+    history = trainer.train(
+        rng, n_epochs=N_EPOCHS_ENERGY, lr=2e-3, lr_decay=0.99
+    )
+    trainer.train(
+        rng, n_epochs=N_EPOCHS_FORCE, lr=5e-4, lr_decay=0.99,
+        force_weight=FORCE_WEIGHT,
+    )
+    return model, trainer, train, test, history
+
+
+def test_fig07_energy_and_force_parity(trained, experiment_reports, benchmark):
+    model, trainer, train, test, history = trained
+
+    # Timed kernel: per-atom energy prediction on the lattice path.
+    rng = np.random.default_rng(0)
+    n = 2048
+    counts = rng.integers(0, 4, (n, model.table.n_shells, 2)).astype(np.float32)
+    types = rng.integers(0, 2, n)
+    energies = benchmark(lambda: model.energies_from_counts(types, counts))
+    assert energies.shape == (n,)
+
+    ev = trainer.evaluate_energies(test)
+    energy = parity_report(ev["predicted"], ev["reference"])
+    fv = trainer.evaluate_forces(test[: min(len(test), 20)])
+    force = parity_report(fv["predicted"], fv["reference"])
+
+    report = ExperimentReport(
+        "Fig. 7", "NNP vs DFT-oracle parity (test split)"
+    )
+    report.add("energy MAE", "2.9 meV/atom", f"{energy['mae'] * 1e3:.1f} meV/atom")
+    report.add("energy R^2", "0.998", f"{energy['r2']:.4f}")
+    report.add("force MAE", "0.04 eV/A", f"{force['mae']:.3f} eV/A")
+    report.add("force R^2", "0.880", f"{force['r2']:.3f}")
+    report.add(
+        "setup", "540 structs / 400 train / DFT",
+        f"{N_STRUCTURES} structs / {N_TRAIN} train / EAM oracle",
+        "FHI-aims substitution",
+    )
+    report.add(
+        "objective", "energy + force",
+        f"{N_EPOCHS_ENERGY} energy epochs + {N_EPOCHS_FORCE} "
+        f"force-fine-tune epochs (w_f={FORCE_WEIGHT})",
+        "double-backprop force loss",
+    )
+    experiment_reports(report)
+
+    # Shape assertions: same regime as the paper.
+    assert energy["r2"] > 0.99
+    assert energy["mae"] < 0.010  # < 10 meV/atom
+    assert force["r2"] > 0.7  # paper: 0.880, reached via force fine-tuning
+    assert history.epoch_loss[-1] < history.epoch_loss[0]

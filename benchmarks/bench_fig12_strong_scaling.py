@@ -1,0 +1,100 @@
+"""Fig. 12 — strong scaling of 1.92 trillion atoms, 780k -> 24.96M cores.
+
+Paper: near-linear strong scaling; 85% parallel efficiency at 24,960,000
+cores (384,000 CGs), with t_stop = 2e-8 s and the tree propensity strategy.
+
+We cannot run 24.96 M cores: real multi-rank `SublatticeKMC` runs calibrate
+the per-event compute cost and per-cycle communication volume, and the
+analytic protocol model of ``repro.parallel.scaling_model`` extrapolates to
+the paper's configurations (see DESIGN.md for the substitution argument).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import ATTEMPT_FREQUENCY, EA0_FE, KB_EV
+from repro.io.report import ExperimentReport
+from repro.lattice import LatticeState
+from repro.parallel import (
+    ScalingParameters,
+    SublatticeKMC,
+    parallel_efficiency,
+    strong_scaling,
+)
+
+PAPER_CG_COUNTS = [12000, 24000, 48000, 96000, 192000, 384000]
+
+
+def calibrate(tet, potential, n_ranks=2, seed=3):
+    """Measure per-event compute cost and ghost traffic on a real run."""
+    lattice = LatticeState((16, 12, 12))
+    lattice.randomize_alloy(np.random.default_rng(seed), 0.0134, 0.003)
+    sim = SublatticeKMC(
+        lattice, potential, tet, n_ranks=n_ranks, temperature=900.0,
+        t_stop=2e-10, seed=seed,
+    )
+    sim.run(16)
+    events = max(sim.total_events, 1)
+    compute_per_event = sum(c.compute_seconds for c in sim.cycles) / events
+    boundary_cells = sum(
+        6.0 * (r.window.box.n_cells ** (2.0 / 3.0)) for r in sim.ranks
+    )
+    bytes_per_boundary_cell = sim.world.stats.bytes_sent / (
+        boundary_cells * len(sim.cycles)
+    )
+    return compute_per_event, bytes_per_boundary_cell
+
+
+def paper_parameters(compute_per_event, bytes_per_boundary_cell):
+    """Scaling parameters for the paper's 573 K Fe-Cu workload."""
+    kT = KB_EV * 573.0
+    rate_per_vacancy = 8 * ATTEMPT_FREQUENCY * np.exp(-EA0_FE / kT)
+    return ScalingParameters(
+        compute_seconds_per_event=compute_per_event,
+        events_per_atom_second=rate_per_vacancy * 8e-6,
+        bytes_per_boundary_cell=bytes_per_boundary_cell,
+    )
+
+
+def test_fig12_strong_scaling(tet_small, nnp_tiny, experiment_reports, benchmark):
+    compute_per_event, bytes_per_cell = calibrate(tet_small, nnp_tiny)
+    # Replace the measured Python-interpreter event cost with the modeled
+    # big-fusion evaluation cost of one event on a CG (Fig. 11), keeping the
+    # measured communication volume: the *protocol* is what is extrapolated.
+    params = paper_parameters(2.0e-4, bytes_per_cell)
+
+    points = strong_scaling(params, atoms_total=1.92e12, cg_counts=PAPER_CG_COUNTS)
+    eff = parallel_efficiency(points)
+
+    report = ExperimentReport(
+        "Fig. 12", "strong scaling, 1.92T atoms (calibrated protocol model)"
+    )
+    for p, e in zip(points, eff):
+        report.add(
+            f"{p.n_cores:,} cores",
+            "85% at 24.96M cores" if p.n_cores == 24_960_000 else "(bar)",
+            f"cycle {p.cycle_time * 1e3:.2f} ms, efficiency {e * 100:.1f}%",
+        )
+    report.add(
+        "calibration",
+        "measured on Sunway",
+        f"python run: {compute_per_event * 1e3:.2f} ms/event measured, "
+        f"{bytes_per_cell:.3f} B/boundary-cell; modeled CG event 0.2 ms",
+    )
+    experiment_reports(report)
+
+    assert eff[0] == pytest.approx(1.0)
+    assert 0.78 <= eff[-1] <= 0.92  # paper: 85%
+    assert all(b <= a + 1e-12 for a, b in zip(eff, eff[1:]))
+    assert points[-1].n_cores == 24_960_000
+
+    # Timed kernel: one real sublattice cycle on simulated ranks.
+    lattice = LatticeState((16, 12, 12))
+    lattice.randomize_alloy(np.random.default_rng(0), 0.0134, 0.003)
+    sim = SublatticeKMC(
+        lattice, nnp_tiny, tet_small, n_ranks=2, temperature=900.0,
+        t_stop=2e-10, seed=0,
+    )
+    benchmark(sim.cycle)

@@ -1,0 +1,104 @@
+"""Fig. 14 / Sec. 5 — Cu precipitation in a thermally-aged Fe-Cu alloy.
+
+Paper: after long evolution of a 250M-atom box at 573 K with 1.34 at.% Cu,
+isolated Cu atoms are significantly reduced, large Cu clusters appear
+(max size ~40), and the precipitate number density stabilises around
+1.71e26 / m^3.
+
+The same physics runs here on a laptop-scale box with a step budget instead
+of a microsecond horizon (see DESIGN.md): vacancy-mediated demixing driven
+by the EAM oracle's Cu-Cu binding.  The asserted *shape*: isolated count
+falls, the maximum cluster grows by atom aggregation, and the number density
+lands on the paper's order of magnitude (1e26/m^3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import analyse_precipitation, warren_cowley
+from repro.constants import VACANCY
+from repro.core import TensorKMCEngine
+from repro.io.report import ExperimentReport
+from repro.lattice import LatticeState
+
+BOX = (14, 14, 14)
+N_STEPS = 8000
+TEMPERATURE = 600.0  # accelerated aging (paper: 573 K over microseconds)
+N_VACANCIES = 6
+
+
+def _aged_run(eam_small, tet_small, seed=12):
+    lattice = LatticeState(BOX)
+    rng = np.random.default_rng(seed)
+    lattice.randomize_alloy(rng, cu_fraction=0.0134, vacancy_fraction=0.0)
+    ids = rng.choice(lattice.n_sites, N_VACANCIES, replace=False)
+    lattice.occupancy[ids] = VACANCY
+    engine = TensorKMCEngine(
+        lattice, eam_small, tet_small, temperature=TEMPERATURE,
+        rng=np.random.default_rng(1),
+    )
+    initial = analyse_precipitation(lattice, 0.0)
+    sro_initial = warren_cowley(lattice, rcut=tet_small.rcut).get(0, 0.0)
+    mid_density = []
+    for _ in range(4):
+        engine.run(n_steps=N_STEPS // 4)
+        mid_density.append(
+            analyse_precipitation(lattice, engine.time).number_density
+        )
+    final = analyse_precipitation(lattice, engine.time)
+    sro_final = warren_cowley(lattice, rcut=tet_small.rcut).get(0, 0.0)
+    return engine, initial, final, mid_density, (sro_initial, sro_final)
+
+
+def test_fig14_precipitation(eam_small, tet_small, experiment_reports, benchmark):
+    engine, initial, final, densities, sro = _aged_run(eam_small, tet_small)
+
+    report = ExperimentReport(
+        "Fig. 14", "Cu precipitation under thermal aging (scaled box)"
+    )
+    report.add(
+        "isolated Cu atoms",
+        "significantly reduced",
+        f"{initial.isolated} -> {final.isolated}",
+        f"{N_STEPS} events, {BOX[0]}^3 cells",
+    )
+    report.add(
+        "max cluster size",
+        "~40 (250M-atom box, 1 s)",
+        f"{initial.max_size} -> {final.max_size}",
+        "growth bounded by our box/time scale",
+    )
+    report.add(
+        "number density",
+        "~1.71e26 / m^3",
+        f"{final.number_density:.2e} / m^3",
+    )
+    report.add(
+        "density trend",
+        "gradually stabilises",
+        " -> ".join(f"{d:.2e}" for d in densities),
+    )
+    report.add(
+        "Warren-Cowley alpha(1NN)",
+        "grows with precipitation",
+        f"{sro[0]:+.4f} -> {sro[1]:+.4f}",
+        "extension: continuous order metric",
+    )
+    report.add(
+        "conditions",
+        "573 K, 1.34 at.% Cu",
+        f"{TEMPERATURE:.0f} K, 1.34 at.% Cu",
+        "temperature raised to accelerate aging",
+    )
+    experiment_reports(report)
+
+    # Shape assertions.
+    assert final.isolated < initial.isolated
+    assert sro[1] > sro[0]
+    assert final.max_size > initial.max_size
+    assert 1e25 < final.number_density < 1e27  # paper's order of magnitude
+
+    # Timed kernel: the cluster analysis of the aged configuration.
+    stats = benchmark(lambda: analyse_precipitation(engine.lattice, engine.time))
+    assert stats.isolated == final.isolated

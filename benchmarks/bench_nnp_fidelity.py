@@ -1,0 +1,121 @@
+"""NNP fidelity — does the fitted potential preserve the KMC kinetics?
+
+The paper's premise is that an NNP trained to meV/atom accuracy can replace
+its reference PES inside AKMC without changing the physics.  This bench
+tests that premise directly on our stack: an NNP is trained against the EAM
+oracle, then the *same* alloy is aged under both potentials and the kinetic
+observables (isolated-Cu trend, Warren-Cowley ordering, event rate) are
+compared.  Trajectories cannot match event-for-event — a few meV shift
+reorders individual rates — so the comparison is statistical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import analyse_precipitation, warren_cowley
+from repro.constants import VACANCY
+from repro.core import TensorKMCEngine, TripleEncoding
+from repro.io.report import ExperimentReport
+from repro.lattice import LatticeState
+from repro.nnp import (
+    ElementNetworks,
+    NNPotential,
+    NNPTrainer,
+    generate_structures,
+    parity_report,
+    train_test_split,
+)
+from repro.potentials import EAMParameters, EAMPotential, FeatureTable
+
+RCUT = 2.87
+BOX = (12, 12, 12)
+N_STEPS = 4000
+TEMPERATURE = 600.0
+
+
+def _train_nnp(tet, oracle):
+    rng = np.random.default_rng(17)
+    structures = generate_structures(
+        oracle, rng, n_structures=80, cells=(3, 3, 3)
+    )
+    train, test = train_test_split(structures, rng, n_train=64)
+    table = FeatureTable(tet.shell_distances)
+    nets = ElementNetworks((2 * table.n_dim, 32, 32, 1), rng)
+    model = NNPotential(table, nets, rcut=RCUT)
+    trainer = NNPTrainer(model, train)
+    trainer.train(rng, n_epochs=150, lr=3e-3, lr_decay=0.995)
+    ev = trainer.evaluate_energies(test)
+    return model, parity_report(ev["predicted"], ev["reference"])
+
+
+def _age(potential, tet, seed=12):
+    lattice = LatticeState(BOX)
+    rng = np.random.default_rng(seed)
+    lattice.randomize_alloy(rng, cu_fraction=0.0134, vacancy_fraction=0.0)
+    ids = rng.choice(lattice.n_sites, 6, replace=False)
+    lattice.occupancy[ids] = VACANCY
+    engine = TensorKMCEngine(
+        lattice, potential, tet, temperature=TEMPERATURE,
+        rng=np.random.default_rng(1),
+    )
+    engine.run(n_steps=N_STEPS)
+    stats = analyse_precipitation(lattice, engine.time)
+    alpha = warren_cowley(lattice, rcut=RCUT).get(0, 0.0)
+    return {
+        "isolated": stats.isolated,
+        "max_size": stats.max_size,
+        "alpha": alpha,
+        "time": engine.time,
+    }
+
+
+def test_nnp_fidelity(experiment_reports, benchmark):
+    tet = TripleEncoding(rcut=RCUT)
+    # The oracle must share the NNP's interaction range, otherwise the
+    # regression problem is ill-posed (the descriptor cannot see what the
+    # reference PES computes).
+    oracle = EAMPotential(
+        tet.shell_distances, EAMParameters(rcut=RCUT + 1e-6)
+    )
+    model, parity = _train_nnp(tet, oracle)
+
+    ref = _age(oracle, tet)
+    nnp = _age(model, tet)
+
+    report = ExperimentReport(
+        "NNP fidelity", "same alloy aged under the oracle PES vs the fitted NNP"
+    )
+    report.add(
+        "NNP test accuracy", "meV/atom regime",
+        f"MAE {parity['mae'] * 1e3:.1f} meV/atom, R^2 {parity['r2']:.4f}",
+    )
+    report.add(
+        "isolated Cu after aging",
+        "same trend under both PES",
+        f"oracle {ref['isolated']} vs NNP {nnp['isolated']}",
+        f"start 60, {N_STEPS} events",
+    )
+    report.add(
+        "Warren-Cowley alpha(1NN)",
+        "same ordering state",
+        f"oracle {ref['alpha']:+.4f} vs NNP {nnp['alpha']:+.4f}",
+    )
+    report.add(
+        "simulated time",
+        "same order (rates agree)",
+        f"oracle {ref['time']:.2e} s vs NNP {nnp['time']:.2e} s",
+    )
+    experiment_reports(report)
+
+    # The fitted PES preserves the reference kinetics.
+    assert abs(nnp["alpha"] - ref["alpha"]) < 0.02
+    assert abs(nnp["isolated"] - ref["isolated"]) <= 10
+    # Event rates agree closely (sub-meV barriers -> near-identical clocks).
+    ratio = nnp["time"] / ref["time"]
+    assert 0.5 < ratio < 2.0
+
+    benchmark(lambda: model.energies_from_counts(
+        np.zeros(64, dtype=np.int64),
+        np.ones((64, tet.n_shells, 2), dtype=np.float32),
+    ))

@@ -1,0 +1,51 @@
+"""Sec. 3.6 — portability of the big-fusion operator to other many-cores.
+
+Paper claim: the data-centric design carries to other architectures; on
+Fugaku the shared A64FX L2 can take the role RMA plays on the Sunway for
+distributing the NNP parameters.  This bench maps the operator onto both
+machine descriptions and reports that its defining property — being
+compute-bound (arithmetic intensity above the ridge) — survives the port.
+"""
+
+from __future__ import annotations
+
+from repro.constants import PAPER_CHANNELS
+from repro.io.report import ExperimentReport
+from repro.sunway import FUGAKU_CMG, compare_targets, sunway_target
+
+M = 32 * 16 * 16
+
+
+def test_portability_mapping(experiment_reports, benchmark):
+    mapped = benchmark(lambda: compare_targets(PAPER_CHANNELS, M))
+
+    report = ExperimentReport(
+        "Sec. 3.6", "big-fusion operator mapped across many-core targets"
+    )
+    for name, op in mapped.items():
+        report.add(
+            name,
+            "stays compute-bound",
+            f"AI {op.arithmetic_intensity:.0f} F/B vs ridge "
+            f"{op.target.ridge_point:.1f} -> "
+            f"{'compute' if op.compute_bound else 'memory'}-bound, "
+            f"{op.modeled_time * 1e3:.3f} ms",
+        )
+    report.add(
+        "parameter-sharing fabric",
+        "RMA on Sunway, shared L2 on Fugaku",
+        f"RMA {sunway_target().share_bandwidth / 1e9:.0f} GB/s vs "
+        f"L2 {FUGAKU_CMG.share_bandwidth / 1e9:.0f} GB/s",
+    )
+    report.add(
+        "main-memory traffic",
+        "architecture independent",
+        f"{mapped['SW26010-pro CG'].mem_bytes / 1e6:.2f} MB on both",
+    )
+    experiment_reports(report)
+
+    for op in mapped.values():
+        assert op.compute_bound
+    sw = mapped["SW26010-pro CG"]
+    fj = mapped["Fugaku A64FX CMG"]
+    assert sw.mem_bytes == fj.mem_bytes

@@ -1,0 +1,77 @@
+"""Shared benchmark plumbing.
+
+Every bench registers an :class:`~repro.io.report.ExperimentReport` through
+the ``experiment_reports`` fixture; the collected paper-vs-measured tables
+are printed in the terminal summary (visible even without ``-s``) so that
+``pytest benchmarks/ --benchmark-only`` reproduces the paper's rows/series
+alongside pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.core.tet import TripleEncoding
+from repro.io.report import ExperimentReport
+from repro.nnp import ElementNetworks, NNPotential
+from repro.potentials import EAMPotential, FeatureTable
+
+_REPORTS: List[ExperimentReport] = []
+
+
+@pytest.fixture()
+def experiment_reports():
+    """Register reports for the end-of-run summary."""
+
+    def _register(report: ExperimentReport) -> ExperimentReport:
+        _REPORTS.append(report)
+        return report
+
+    return _register
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper-vs-measured experiment reports")
+    for report in _REPORTS:
+        terminalreporter.write_line("")
+        for line in report.render().splitlines():
+            terminalreporter.write_line(line)
+
+
+# ----------------------------------------------------------------------
+# Shared cheap workloads (small cutoff keeps the 1-core runtime sane).
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def tet_small() -> TripleEncoding:
+    return TripleEncoding(rcut=2.87)
+
+
+@pytest.fixture(scope="session")
+def tet_standard() -> TripleEncoding:
+    return TripleEncoding(rcut=6.5)
+
+
+@pytest.fixture(scope="session")
+def eam_small(tet_small) -> EAMPotential:
+    return EAMPotential(tet_small.shell_distances)
+
+
+@pytest.fixture(scope="session")
+def nnp_tiny(tet_small) -> NNPotential:
+    """A small random-weight NNP: deterministic energetics, fast benches."""
+    rng = np.random.default_rng(42)
+    table = FeatureTable(tet_small.shell_distances)
+    nets = ElementNetworks((2 * table.n_dim, 16, 16, 1), rng)
+    model = NNPotential(table, nets, rcut=tet_small.rcut)
+    model.set_standardisation(
+        feature_mean=np.full(2 * table.n_dim, 0.5, dtype=np.float32),
+        feature_std=np.full(2 * table.n_dim, 1.5, dtype=np.float32),
+        reference_energies=np.array([-4.0, -3.6]),
+        energy_scale=0.05,
+    )
+    return model

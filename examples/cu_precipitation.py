@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Cu precipitation in a reactor-pressure-vessel alloy (paper Sec. 5 / Fig. 14).
+
+Thermally ages an Fe - 1.34 at.% Cu alloy with dilute vacancies and tracks
+the precipitate population: isolated Cu count, cluster-size histogram, the
+largest cluster, and the number density the paper stabilises near
+1.71e26 / m^3.  Snapshots are written so the evolution can be resumed or
+post-processed.
+
+Run:  python examples/cu_precipitation.py  [--steps 8000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+
+import numpy as np
+
+from repro import TensorKMCEngine, TripleEncoding
+from repro.analysis import analyse_precipitation, run_with_snapshots
+from repro.constants import VACANCY
+from repro.io import load_lattice, save_lattice
+from repro.lattice import LatticeState
+from repro.potentials import EAMPotential
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=8000)
+    parser.add_argument("--box", type=int, default=14, help="cells per axis")
+    parser.add_argument("--temperature", type=float, default=600.0)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(12)
+    tet = TripleEncoding(rcut=2.87)
+    potential = EAMPotential(tet.shell_distances)
+
+    lattice = LatticeState((args.box,) * 3)
+    lattice.randomize_alloy(rng, cu_fraction=0.0134, vacancy_fraction=0.0)
+    vac_sites = rng.choice(lattice.n_sites, 6, replace=False)
+    lattice.occupancy[vac_sites] = VACANCY
+
+    engine = TensorKMCEngine(
+        lattice, potential, tet, temperature=args.temperature,
+        rng=np.random.default_rng(1),
+    )
+
+    probe = lambda t: analyse_precipitation(lattice, t)  # noqa: E731
+    engine.step()  # establish a time scale for the snapshot stride
+    stride = engine.time * args.steps / 8
+    recorder = run_with_snapshots(
+        engine, probe, stride=stride, n_steps=args.steps - 1
+    )
+
+    print(f"{'time (s)':>12}  {'isolated':>8}  {'clusters':>8}  {'max':>4}  "
+          f"{'density (1/m^3)':>16}")
+    for t, stats in zip(recorder.times, recorder.values):
+        print(
+            f"{t:12.3e}  {stats.isolated:8d}  {stats.n_clusters:8d}  "
+            f"{stats.max_size:4d}  {stats.number_density:16.3e}"
+        )
+
+    final = recorder.values[-1]
+    print("\ncluster-size histogram:", dict(sorted(final.histogram.items())))
+    print(f"paper reference: max size ~40, density ~1.71e26/m^3 "
+          f"(250M atoms, 1 s); ours is the scaled-box equivalent")
+
+    with tempfile.NamedTemporaryFile(suffix=".npz", delete=False) as fh:
+        save_lattice(fh.name, lattice, time=engine.time)
+        restored, t = load_lattice(fh.name)
+        print(f"snapshot round-trip OK ({restored.n_sites} sites at t={t:.2e} s)"
+              f" -> {fh.name}")
+
+
+if __name__ == "__main__":
+    main()

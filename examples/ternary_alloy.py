@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Multicomponent alloys: Fe-Cu-Ni thermal aging.
+
+The paper motivates NNP-driven AKMC for *chemically complex* alloys (its
+intro studies Cu, Ni, Mn and Si solutes in RPV steels).  This example runs
+the whole stack on a ternary system — element codes Fe=0, Cu=1, Ni=2,
+vacancy=3 — and tracks both solutes' clustering.  The ternary EAM preset
+makes Ni co-segregate with Cu, the qualitative phenomenology of
+Ni-decorated Cu precipitates.
+
+Run:  python examples/ternary_alloy.py  [--steps 6000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import TensorKMCEngine, TripleEncoding
+from repro.analysis import cluster_sizes, find_clusters, warren_cowley
+from repro.constants import CU
+from repro.lattice import LatticeState
+from repro.potentials import EAMParameters, EAMPotential
+
+NI = 2
+VACANCY3 = 3
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=6000)
+    parser.add_argument("--box", type=int, default=12)
+    parser.add_argument("--temperature", type=float, default=600.0)
+    args = parser.parse_args()
+
+    tet = TripleEncoding(rcut=2.87)
+    potential = EAMPotential(tet.shell_distances, EAMParameters.fe_cu_ni())
+    print(f"ternary potential: {potential.n_elements} elements, "
+          f"vacancy code {potential.vacancy_code}")
+
+    lattice = LatticeState((args.box,) * 3, vacancy_code=VACANCY3)
+    rng = np.random.default_rng(21)
+    lattice.randomize_multicomponent(
+        rng, {CU: 0.03, NI: 0.02}, vacancy_fraction=0.0
+    )
+    ids = rng.choice(lattice.n_sites, 6, replace=False)
+    lattice.occupancy[ids] = VACANCY3
+    counts = lattice.species_counts()
+    print(f"box: {counts[0]} Fe, {counts[1]} Cu, {counts[2]} Ni, "
+          f"{counts[3]} vacancies")
+
+    engine = TensorKMCEngine(
+        lattice, potential, tet, temperature=args.temperature,
+        rng=np.random.default_rng(2),
+        ea0=(0.65, 0.56, 0.60),  # Fe, Cu, Ni reference barriers (eV)
+    )
+
+    def report(label):
+        cu_alpha = warren_cowley(lattice, rcut=2.87, species=CU).get(0, 0.0)
+        ni_alpha = warren_cowley(lattice, rcut=2.87, species=NI).get(0, 0.0)
+        cu_sizes = cluster_sizes(find_clusters(lattice, species=CU))
+        print(f"{label}: alpha_1NN(Cu) = {cu_alpha:+.4f}, "
+              f"alpha_1NN(Ni) = {ni_alpha:+.4f}, "
+              f"largest Cu cluster = {cu_sizes[0] if cu_sizes.size else 0}")
+
+    report("before aging")
+    for quarter in range(4):
+        engine.run(n_steps=args.steps // 4)
+        report(f"after {engine.step_count:5d} events")
+
+    final = lattice.species_counts()
+    assert np.array_equal(final, counts), "species not conserved!"
+    print(f"\nspecies conserved; simulated time {engine.time:.2e} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""TensorKMC reproduction — NNP-driven atomistic kinetic Monte Carlo.
+
+Public API re-exports the pieces a downstream user needs:
+
+* lattice substrate:  :class:`~repro.lattice.LatticeState`
+* the core engine:    :class:`~repro.core.TensorKMCEngine`
+* the baseline:       :class:`~repro.baseline.OpenKMCEngine`
+* potentials:         :class:`~repro.potentials.EAMPotential`,
+                      :class:`~repro.nnp.NNPotential`
+* analysis:           :func:`~repro.analysis.analyse_precipitation`
+
+See README.md for a quickstart and DESIGN.md for the full system inventory.
+"""
+
+from . import analysis, baseline, constants, core, lattice, nnp, potentials
+from .baseline import OpenKMCEngine
+from .core import NoMovesError, TensorKMCEngine, TripleEncoding
+from .lattice import BCCGeometry, LatticeState
+from .nnp import NNPotential
+from .potentials import EAMPotential, FeatureTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baseline",
+    "constants",
+    "core",
+    "lattice",
+    "nnp",
+    "potentials",
+    "OpenKMCEngine",
+    "NoMovesError",
+    "TensorKMCEngine",
+    "TripleEncoding",
+    "BCCGeometry",
+    "LatticeState",
+    "NNPotential",
+    "EAMPotential",
+    "FeatureTable",
+]

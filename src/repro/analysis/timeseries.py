@@ -1,0 +1,69 @@
+"""Trajectory recording: periodic snapshots of observables during a run."""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, Optional, TypeVar
+
+import numpy as np
+
+from ..core.engine import KMCEvent, SerialAKMCBase
+
+__all__ = ["TimeSeriesRecorder", "run_with_snapshots"]
+
+T = TypeVar("T")
+
+
+class TimeSeriesRecorder(Generic[T]):
+    """Collects ``(time, value)`` samples at a fixed simulated-time stride.
+
+    Attach as the engine callback; ``probe`` is called at most once per
+    stride interval, so expensive analyses (cluster finding) stay cheap.
+    """
+
+    def __init__(
+        self,
+        probe: Callable[[float], T],
+        stride: float,
+        record_initial: bool = True,
+    ) -> None:
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride!r}")
+        self.probe = probe
+        self.stride = float(stride)
+        self.times: List[float] = []
+        self.values: List[T] = []
+        self._next = 0.0 if record_initial else stride
+
+    def __call__(self, event: KMCEvent) -> None:
+        if event.time >= self._next:
+            self.sample(event.time)
+            while self._next <= event.time:
+                self._next += self.stride
+
+    def sample(self, time: float) -> None:
+        """Force a sample at the given simulated time."""
+        self.times.append(float(time))
+        self.values.append(self.probe(float(time)))
+
+    def as_arrays(self) -> np.ndarray:
+        """Times as a float64 array (values stay a Python list)."""
+        return np.asarray(self.times, dtype=np.float64)
+
+
+def run_with_snapshots(
+    engine: SerialAKMCBase,
+    probe: Callable[[float], T],
+    stride: float,
+    n_steps: Optional[int] = None,
+    t_end: Optional[float] = None,
+) -> TimeSeriesRecorder[T]:
+    """Run an engine while sampling ``probe`` every ``stride`` seconds.
+
+    An initial sample is taken before the first event and a final one after
+    the run, so the series always brackets the trajectory.
+    """
+    recorder = TimeSeriesRecorder(probe, stride, record_initial=False)
+    recorder.sample(engine.time)
+    engine.run(n_steps=n_steps, t_end=t_end, callback=recorder)
+    recorder.sample(engine.time)
+    return recorder

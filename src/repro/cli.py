@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the daily workflow:
+
+* ``run``      — serial TensorKMC simulation of an Fe-Cu alloy;
+* ``parallel`` — the same workload on the synchronous sublattice driver;
+* ``train``    — fit an NNP to oracle-labelled structures and save it.
+
+Every command prints a short machine-parseable summary ("key = value" lines)
+so scripts can scrape results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import analyse_precipitation
+from .constants import CU_CONCENTRATION, TEMPERATURE_RPV, VACANCY_CONCENTRATION
+from .core import TensorKMCEngine, TripleEncoding
+from .io.snapshots import save_lattice
+from .io.xyz import write_xyz
+from .lattice import LatticeState
+from .potentials import EAMPotential
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TensorKMC reproduction: NNP-driven atomistic KMC",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="serial TensorKMC simulation")
+    _common_alloy_args(run)
+    run.add_argument("--steps", type=int, default=1000)
+    run.add_argument("--snapshot", type=str, default=None,
+                     help="write the final lattice to this .npz file")
+    run.add_argument("--xyz", type=str, default=None,
+                     help="write the final configuration to this .xyz file")
+    run.add_argument("--potential", type=str, default=None,
+                     help="path to a trained NNPotential .npz (default: EAM)")
+    run.add_argument("--evaluation", choices=("full", "delta"), default="full")
+    run.add_argument("--restart", type=str, default=None,
+                     help="resume bit-exactly from a checkpoint .npz")
+    run.add_argument("--checkpoint", type=str, default=None,
+                     help="write a resumable checkpoint at the end")
+
+    par = sub.add_parser("parallel", help="synchronous sublattice simulation")
+    _common_alloy_args(par)
+    par.set_defaults(box=16)
+    par.add_argument("--ranks", type=int, default=2)
+    par.add_argument("--cycles", type=int, default=16)
+    par.add_argument("--t-stop", type=float, default=2e-10)
+
+    train = sub.add_parser("train", help="train an NNP on oracle data")
+    train.add_argument("--rcut", type=float, default=6.5)
+    train.add_argument("--structures", type=int, default=120)
+    train.add_argument("--train-fraction", type=float, default=0.8)
+    train.add_argument("--epochs", type=int, default=80)
+    train.add_argument("--force-epochs", type=int, default=0,
+                       help="extra epochs with the double-backprop force loss")
+    train.add_argument("--channels", type=int, nargs="+",
+                       default=[64, 64, 64, 1])
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", type=str, required=True,
+                       help="where to save the trained model (.npz)")
+    return parser
+
+
+def _common_alloy_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--box", type=int, default=12, help="cubic cells per axis")
+    p.add_argument("--rcut", type=float, default=2.87)
+    p.add_argument("--temperature", type=float, default=TEMPERATURE_RPV)
+    p.add_argument("--cu", type=float, default=CU_CONCENTRATION)
+    p.add_argument("--vacancies", type=float, default=None,
+                   help="vacancy site fraction (default: paper value, min 1)")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _make_lattice(args) -> LatticeState:
+    lattice = LatticeState((args.box,) * 3)
+    vac = args.vacancies if args.vacancies is not None else VACANCY_CONCENTRATION
+    lattice.randomize_alloy(
+        np.random.default_rng(args.seed), cu_fraction=args.cu,
+        vacancy_fraction=vac,
+    )
+    return lattice
+
+
+def _load_potential(args, tet: TripleEncoding):
+    if getattr(args, "potential", None):
+        from .nnp.model import NNPotential
+
+        model = NNPotential.load(args.potential)
+        if model.shell_distances.shape != tet.shell_distances.shape or not (
+            np.allclose(model.shell_distances, tet.shell_distances)
+        ):
+            raise SystemExit(
+                "error: the trained model's shells do not match --rcut"
+            )
+        return model
+    return EAMPotential(tet.shell_distances)
+
+
+def _cmd_run(args) -> int:
+    tet = TripleEncoding(rcut=args.rcut)
+    if args.restart:
+        from .io.checkpoint import load_checkpoint
+
+        potential = _load_potential(args, tet)
+        engine = load_checkpoint(args.restart, potential)
+        lattice = engine.lattice
+    else:
+        lattice = _make_lattice(args)
+        potential = _load_potential(args, tet)
+        engine = TensorKMCEngine(
+            lattice, potential, tet, temperature=args.temperature,
+            rng=np.random.default_rng(args.seed + 1),
+            evaluation=args.evaluation,
+        )
+    engine.run(n_steps=args.steps)
+    stats = analyse_precipitation(lattice, engine.time)
+    print(f"events = {engine.step_count}")
+    print(f"time_s = {engine.time:.6e}")
+    print(f"cache_hit_rate = {engine.cache.stats.hit_rate:.4f}")
+    print(f"isolated_cu = {stats.isolated}")
+    print(f"max_cluster = {stats.max_size}")
+    print(f"number_density_m3 = {stats.number_density:.4e}")
+    if args.snapshot:
+        save_lattice(args.snapshot, lattice, time=engine.time)
+        print(f"snapshot = {args.snapshot}")
+    if args.xyz:
+        with open(args.xyz, "w") as fh:
+            write_xyz(fh, lattice, time=engine.time)
+        print(f"xyz = {args.xyz}")
+    if args.checkpoint:
+        from .io.checkpoint import save_checkpoint
+
+        save_checkpoint(args.checkpoint, engine)
+        print(f"checkpoint = {args.checkpoint}")
+    return 0
+
+
+def _cmd_parallel(args) -> int:
+    from .parallel import SublatticeKMC
+
+    tet = TripleEncoding(rcut=args.rcut)
+    lattice = _make_lattice(args)
+    potential = _load_potential(args, tet)
+    before = lattice.species_counts().copy()
+    sim = SublatticeKMC(
+        lattice, potential, tet, n_ranks=args.ranks,
+        temperature=args.temperature, t_stop=args.t_stop, seed=args.seed,
+    )
+    sim.run(args.cycles)
+    conserved = bool(
+        np.array_equal(sim.gather_global().species_counts(), before)
+    )
+    print(f"ranks = {sim.decomposition.n_ranks}")
+    print(f"grid = {sim.decomposition.grid}")
+    print(f"events = {sim.total_events}")
+    print(f"time_s = {sim.time:.6e}")
+    print(f"messages = {sim.world.stats.messages_sent}")
+    print(f"bytes = {sim.world.stats.bytes_sent}")
+    print(f"species_conserved = {conserved}")
+    print(f"ghosts_consistent = {sim.check_ghost_consistency()}")
+    return 0 if conserved else 1
+
+
+def _cmd_train(args) -> int:
+    from .nnp import (
+        ElementNetworks,
+        NNPotential,
+        NNPTrainer,
+        generate_structures,
+        parity_report,
+        train_test_split,
+    )
+    from .potentials import FeatureTable
+
+    tet = TripleEncoding(rcut=args.rcut)
+    oracle = EAMPotential(tet.shell_distances)
+    rng = np.random.default_rng(args.seed)
+    structures = generate_structures(oracle, rng, n_structures=args.structures)
+    n_train = max(int(args.train_fraction * len(structures)), 1)
+    if n_train >= len(structures):
+        n_train = len(structures) - 1
+    train, test = train_test_split(structures, rng, n_train=n_train)
+
+    table = FeatureTable(tet.shell_distances)
+    networks = ElementNetworks(tuple(args.channels), rng)
+    model = NNPotential(table, networks, rcut=args.rcut)
+    trainer = NNPTrainer(model, train)
+    trainer.train(rng, n_epochs=args.epochs, lr=2e-3, lr_decay=0.99)
+    if args.force_epochs > 0:
+        trainer.train(
+            rng, n_epochs=args.force_epochs, lr=5e-4, force_weight=2.0
+        )
+    ev = trainer.evaluate_energies(test)
+    energy = parity_report(ev["predicted"], ev["reference"])
+    model.save(args.output)
+    print(f"n_train = {len(train)}")
+    print(f"n_test = {len(test)}")
+    print(f"energy_mae_ev_per_atom = {energy['mae']:.6f}")
+    print(f"energy_r2 = {energy['r2']:.6f}")
+    print(f"model = {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "parallel":
+        return _cmd_parallel(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

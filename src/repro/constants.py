@@ -1,0 +1,57 @@
+"""Physical constants and paper-default parameters for the TensorKMC reproduction.
+
+All energies are in eV, lengths in Angstrom, times in seconds, temperatures in
+Kelvin, matching the unit conventions of the paper (SC '21, Sec. 2.1 / 4.1).
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant in eV / K.
+KB_EV = 8.617333262e-5
+
+#: Attempt frequency Gamma_0 in 1/s (paper Sec. 2.1).
+ATTEMPT_FREQUENCY = 6.0e12
+
+#: BCC Fe lattice constant in Angstrom (paper Sec. 4.1.2).
+LATTICE_CONSTANT = 2.87
+
+#: Reference activation energies E_a^0 in eV by migrating species (paper Sec. 2.1).
+EA0_FE = 0.65
+EA0_CU = 0.56
+
+#: Species codes used in every occupancy array.
+FE = 0
+CU = 1
+VACANCY = 2
+
+#: Human-readable species names, indexed by species code.
+SPECIES_NAMES = ("Fe", "Cu", "vacancy")
+
+#: Number of chemical elements (the vacancy is not an element).
+N_ELEMENTS = 2
+
+#: Standard cutoff radius in Angstrom (paper Sec. 4.1.1).
+RCUT_STANDARD = 6.5
+
+#: The shorter comparison cutoff from Fig. 11.
+RCUT_SHORT = 5.8
+
+#: Paper defaults for the Fe-Cu RPV workload (Secs. 4.1.2, 4.4, 5).
+CU_CONCENTRATION = 1.34e-2
+VACANCY_CONCENTRATION = 8.0e-6
+TEMPERATURE_RPV = 573.0
+
+#: Synchronisation interval t_stop used in all scalability tests (Sec. 4.4).
+T_STOP = 2.0e-8
+
+#: Descriptor hyper-parameter grid: 32 (p, q) pairs (paper Sec. 4.1.1):
+#: p from 4.2 down to 1.1 with step -0.1 and q from 1.85 up with step 0.05.
+#: Note 4.2 -> 1.1 at step 0.1 spans 32 values.
+DESCRIPTOR_P_START = 4.2
+DESCRIPTOR_P_STEP = -0.1
+DESCRIPTOR_Q_START = 1.85
+DESCRIPTOR_Q_STEP = 0.05
+DESCRIPTOR_N_SETS = 32
+
+#: Convolutional channel widths of the paper's NNP (Sec. 4.1.1).
+PAPER_CHANNELS = (64, 128, 128, 128, 64, 1)

@@ -1,0 +1,25 @@
+"""TensorKMC core: triple-encoding, vacancy cache, rates, and the engine."""
+
+from .engine import KMCEvent, NoMovesError, SerialAKMCBase, TensorKMCEngine
+from .propensity import FenwickPropensity, LinearPropensity, PropensityStore
+from .rates import RateModel, residence_time
+from .tet import TripleEncoding
+from .vacancy_cache import CachedVacancySystem, VacancyCache
+from .vacancy_system import StateEnergies, VacancySystemEvaluator
+
+__all__ = [
+    "KMCEvent",
+    "NoMovesError",
+    "SerialAKMCBase",
+    "TensorKMCEngine",
+    "FenwickPropensity",
+    "LinearPropensity",
+    "PropensityStore",
+    "RateModel",
+    "residence_time",
+    "TripleEncoding",
+    "CachedVacancySystem",
+    "VacancyCache",
+    "StateEnergies",
+    "VacancySystemEvaluator",
+]

@@ -1,0 +1,153 @@
+"""Propensity bookkeeping — linear scan vs the paper's tree strategy.
+
+Event selection in KMC draws ``u ~ U[0, total)`` and finds the first slot
+whose cumulative propensity exceeds ``u``.  The baseline implementation
+recomputes a cumulative sum every step (O(n)); the paper's "tree strategy for
+propensity update" (Sec. 4.4) keeps a Fenwick tree so that updates and
+selections are O(log n).  Both structures implement the same interface and
+the same selection semantics so the engines can use either.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["PropensityStore", "LinearPropensity", "FenwickPropensity"]
+
+
+class PropensityStore(ABC):
+    """Slot-indexed non-negative propensities with weighted selection."""
+
+    @abstractmethod
+    def resize(self, n_slots: int) -> None:
+        """Reset to ``n_slots`` slots, all zero."""
+
+    @abstractmethod
+    def update(self, slot: int, value: float) -> None:
+        """Set the propensity of one slot."""
+
+    @abstractmethod
+    def get(self, slot: int) -> float:
+        """Current propensity of a slot."""
+
+    @property
+    @abstractmethod
+    def total(self) -> float:
+        """Sum of all propensities."""
+
+    @abstractmethod
+    def select(self, u: float) -> Tuple[int, float]:
+        """First slot with cumulative propensity > ``u``.
+
+        Returns ``(slot, remainder)`` where ``remainder`` is ``u`` minus the
+        cumulative propensity of all earlier slots (used to pick the
+        direction inside the slot).
+        """
+
+
+class LinearPropensity(PropensityStore):
+    """O(n) cumulative-sum selection — the non-tree baseline."""
+
+    def __init__(self, n_slots: int = 0) -> None:
+        self.values = np.zeros(n_slots, dtype=np.float64)
+
+    def resize(self, n_slots: int) -> None:
+        self.values = np.zeros(n_slots, dtype=np.float64)
+
+    def update(self, slot: int, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"propensity must be >= 0, got {value!r}")
+        self.values[slot] = value
+
+    def get(self, slot: int) -> float:
+        return float(self.values[slot])
+
+    @property
+    def total(self) -> float:
+        return float(self.values.sum())
+
+    def select(self, u: float) -> Tuple[int, float]:
+        cum = np.cumsum(self.values)
+        if not 0.0 <= u < cum[-1]:
+            raise ValueError(f"u={u!r} outside [0, total={cum[-1]!r})")
+        slot = int(np.searchsorted(cum, u, side="right"))
+        prev = float(cum[slot - 1]) if slot > 0 else 0.0
+        return slot, u - prev
+
+
+class FenwickPropensity(PropensityStore):
+    """Fenwick (binary indexed) tree: O(log n) update and selection.
+
+    This is the "tree strategy for propensity update" used in all the
+    paper's scalability runs.
+    """
+
+    def __init__(self, n_slots: int = 0) -> None:
+        self.resize(n_slots)
+
+    def resize(self, n_slots: int) -> None:
+        self.n = int(n_slots)
+        # size rounded up to a power of two for the descend-select.
+        self._cap = 1
+        while self._cap < max(self.n, 1):
+            self._cap *= 2
+        self.tree = np.zeros(self._cap + 1, dtype=np.float64)
+        self.values = np.zeros(self.n, dtype=np.float64)
+
+    def update(self, slot: int, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"propensity must be >= 0, got {value!r}")
+        if not 0 <= slot < self.n:
+            raise IndexError(f"slot {slot} out of range [0, {self.n})")
+        self.values[slot] = value
+        # Recompute every ancestor node exactly from its children instead of
+        # propagating a float delta: the tree is then a pure function of the
+        # ``values`` array, independent of update history — which is what
+        # makes checkpoint/restart bit-exact (a rebuilt tree matches an
+        # incrementally-updated one).  O(log^2 n) instead of O(log n).
+        i = slot + 1
+        while i <= self._cap:
+            total = self.values[i - 1] if i - 1 < self.n else 0.0
+            k = 1
+            low = i & (-i)
+            while k < low:
+                total += self.tree[i - k]
+                k <<= 1
+            self.tree[i] = total
+            i += i & (-i)
+
+    def get(self, slot: int) -> float:
+        return float(self.values[slot])
+
+    @property
+    def total(self) -> float:
+        return self._prefix(self._cap)
+
+    def _prefix(self, i: int) -> float:
+        s = 0.0
+        while i > 0:
+            s += self.tree[i]
+            i -= i & (-i)
+        return s
+
+    def select(self, u: float) -> Tuple[int, float]:
+        total = self.total
+        if not 0.0 <= u < total:
+            raise ValueError(f"u={u!r} outside [0, total={total!r})")
+        pos = 0
+        rem = u
+        step = self._cap
+        while step > 0:
+            nxt = pos + step
+            if nxt <= self._cap and self.tree[nxt] <= rem:
+                rem -= self.tree[nxt]
+                pos = nxt
+            step //= 2
+        slot = pos  # pos = count of slots with cumulative <= u
+        if slot >= self.n:  # numerical edge: clamp onto the last live slot
+            slot = self.n - 1
+            rem = min(rem, self.values[slot])
+        return slot, rem

@@ -1,0 +1,194 @@
+"""Triple-encoding tabulation (TET) — paper Sec. 3.1.
+
+A vacancy system is the dense cluster of sites whose energies can change when
+the central vacancy performs one 1NN hop.  TET describes it with three
+tabulations:
+
+* **CET** (coordinates encoding tabulation): relative half-unit offsets of the
+  ``N_local`` in-cutoff neighbours of a site.  Purely geometric, shared by all
+  sites (every BCC site is geometrically equivalent).
+* **NET** (neighbour-list encoding tabulation): for every site in the *jumping
+  region*, the indices (into the vacancy-system site list) and shell of each
+  of its neighbours.
+* **VET** (vacancy encoding tabulation): the only per-instance data — a vector
+  of species codes for all ``N_all`` sites of one concrete vacancy system.
+
+Site ordering convention (used throughout the engines):
+``0`` = the vacancy centre, ``1..8`` = the eight 1NN sites in the fixed hop
+direction order, then the remaining region sites, then the outer shell.  For
+the paper's r_cut = 6.5 A this gives ``N_local = 112`` and ``N_region = 253``
+(Sec. 4.1.1), which the test-suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..constants import LATTICE_CONSTANT
+from ..lattice.bcc import BCCGeometry
+
+__all__ = ["TripleEncoding"]
+
+
+class TripleEncoding:
+    """The CET/NET tables of a vacancy system for one (a, r_cut) pair.
+
+    Parameters
+    ----------
+    rcut:
+        Interaction cutoff radius in Angstrom.
+    a:
+        Lattice constant in Angstrom.
+
+    Attributes
+    ----------
+    cet_offsets:
+        ``(n_local, 3)`` half-unit offsets of a site's neighbours (the CET).
+    cet_shell:
+        ``(n_local,)`` shell index of each CET entry (distance is a function
+        of the offset only, so NET's distance column collapses to this).
+    all_offsets:
+        ``(n_all, 3)`` half-unit offsets of every site of the vacancy system
+        relative to the centre, in the canonical order described above.
+    net_ids:
+        ``(n_region, n_local)`` NET: ``net_ids[i, j]`` is the index into
+        ``all_offsets`` of the j-th neighbour of region site i.
+    shell_distances:
+        ``(n_shells,)`` shell distances in Angstrom.
+    """
+
+    #: VET index of the centre site.
+    CENTER = 0
+    #: VET indices of the eight hop targets (1NN sites).
+    N_DIRECTIONS = 8
+
+    def __init__(self, rcut: float, a: float = LATTICE_CONSTANT) -> None:
+        self.rcut = float(rcut)
+        self.geometry = BCCGeometry(a)
+        shells = self.geometry.shells_within(rcut)
+        self.shells = shells
+        self.cet_offsets = shells.offsets
+        self.cet_shell = shells.shell_index
+        self.shell_distances = shells.shell_distances
+        self.n_local = shells.n_sites
+        self.n_shells = shells.n_shells
+
+        first_shell = self.cet_offsets[self.cet_shell == 0]
+        if first_shell.shape[0] != self.N_DIRECTIONS:
+            raise ValueError(
+                f"rcut={rcut} does not include the 1NN shell "
+                f"({first_shell.shape[0]} sites found)"
+            )
+        self.nn_offsets = first_shell  # lexicographic order, deterministic
+
+        self._build_site_lists()
+        self._build_net()
+        # Any lattice change within this radius of a system's centre can
+        # alter its VET -> used by the vacancy cache for invalidation.
+        self.invalidation_radius = float(
+            np.max(self.geometry.offset_distance(self.all_offsets))
+        )
+        # Ghost margin (in cubic cells) a domain window needs so that every
+        # VET of a locally-owned vacancy resolves inside the window.
+        self.ghost_cells = int(np.ceil(np.max(np.abs(self.all_offsets)) / 2.0))
+        # Minimum sublattice sector width (cells) for conflict-free parallel
+        # cycles: the gap between same-numbered sectors of adjacent ranks
+        # must exceed the VET reach even after each side's changes extend
+        # one 1NN hop beyond its sector (see parallel.sublattice).
+        hop = self.geometry.a  # conservative: one full cell of hop extension
+        self.min_sector_cells = int(
+            np.ceil((self.invalidation_radius + hop) / self.geometry.a)
+        )
+
+    # ------------------------------------------------------------------
+    def _build_site_lists(self) -> None:
+        """Construct the canonical region / outer site lists."""
+        center = np.zeros((1, 3), dtype=np.int64)
+        # Region: centre, its neighbours, and the neighbours of its 1NN sites.
+        region_parts = [center, self.cet_offsets]
+        for nn in self.nn_offsets:
+            region_parts.append(nn[None, :] + self.cet_offsets)
+        region = _unique_rows(np.concatenate(region_parts, axis=0))
+        # Outer: neighbours of region sites that are not themselves in region.
+        all_parts = [region]
+        reach = (region[:, None, :] + self.cet_offsets[None, :, :]).reshape(-1, 3)
+        all_parts.append(reach)
+        everything = _unique_rows(np.concatenate(all_parts, axis=0))
+
+        region_keys = {tuple(r) for r in region}
+        nn_keys = [tuple(v) for v in self.nn_offsets]
+        special = {(0, 0, 0)} | set(nn_keys)
+
+        def sort_block(rows: np.ndarray) -> np.ndarray:
+            d = self.geometry.offset_distance(rows)
+            order = np.lexsort((rows[:, 2], rows[:, 1], rows[:, 0], d))
+            return rows[order]
+
+        region_rest = sort_block(
+            np.array(
+                [r for r in region if tuple(r) not in special], dtype=np.int64
+            ).reshape(-1, 3)
+        )
+        outer = sort_block(
+            np.array(
+                [r for r in everything if tuple(r) not in region_keys],
+                dtype=np.int64,
+            ).reshape(-1, 3)
+        )
+        ordered = [center, self.nn_offsets, region_rest, outer]
+        self.all_offsets = np.concatenate(ordered, axis=0)
+        self.n_region = 1 + self.N_DIRECTIONS + region_rest.shape[0]
+        self.n_all = self.all_offsets.shape[0]
+        self.n_out = self.n_all - self.n_region
+
+    def _build_net(self) -> None:
+        """NET: neighbour indices of every region site, into ``all_offsets``."""
+        index: Dict[Tuple[int, int, int], int] = {
+            tuple(v): i for i, v in enumerate(self.all_offsets)
+        }
+        net = np.empty((self.n_region, self.n_local), dtype=np.int32)
+        for i in range(self.n_region):
+            base = self.all_offsets[i]
+            for j, off in enumerate(self.cet_offsets):
+                key = tuple(base + off)
+                try:
+                    net[i, j] = index[key]
+                except KeyError as exc:  # pragma: no cover - construction bug
+                    raise AssertionError(
+                        f"neighbour {key} of region site {i} missing from "
+                        "the vacancy-system site list"
+                    ) from exc
+        self.net_ids = net
+
+    # ------------------------------------------------------------------
+    def direction_vet_index(self, direction: int) -> int:
+        """VET index of the 1NN target of a hop direction (0..7)."""
+        if not 0 <= direction < self.N_DIRECTIONS:
+            raise ValueError(f"direction must be in [0, 8), got {direction}")
+        return 1 + direction
+
+    def describe(self) -> Dict[str, float]:
+        """Size summary (the Sec. 4.1.1 numbers)."""
+        return {
+            "rcut": self.rcut,
+            "n_local": self.n_local,
+            "n_region": self.n_region,
+            "n_out": self.n_out,
+            "n_all": self.n_all,
+            "n_shells": self.n_shells,
+            "invalidation_radius": self.invalidation_radius,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        d = self.describe()
+        return (
+            f"TripleEncoding(rcut={self.rcut}, n_local={d['n_local']}, "
+            f"n_region={d['n_region']}, n_all={d['n_all']})"
+        )
+
+
+def _unique_rows(rows: np.ndarray) -> np.ndarray:
+    """Unique integer rows (order not preserved)."""
+    return np.unique(rows, axis=0)

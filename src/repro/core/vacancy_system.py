@@ -1,0 +1,199 @@
+"""Vacancy-system state evaluation — the per-hop energy kernel.
+
+Given a VET (species of all ``n_all`` sites of a vacancy system) the
+evaluator computes the initial-state region energy and the energy change of
+each of the eight possible final states.  This mirrors the paper's fast
+feature operator semantics: features for the initial state and all final
+states are produced in one batch (Sec. 3.4), then pushed through the
+potential (the big-fusion operator on Sunway; a :class:`CountsPotential`
+here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..potentials.base import CountsPotential, counts_from_types
+from .tet import TripleEncoding
+
+__all__ = ["StateEnergies", "VacancySystemEvaluator"]
+
+
+@dataclass(frozen=True)
+class StateEnergies:
+    """Energies of one vacancy system: initial state + 8 trial final states."""
+
+    #: Region energy of the current state (eV).
+    initial: float
+    #: ``(8,)`` energy differences E_f - E_i per hop direction (eV);
+    #: undefined entries (invalid hops) are 0 and masked by ``valid``.
+    delta: np.ndarray
+    #: ``(8,)`` False where the 1NN target is itself a vacancy (no hop).
+    valid: np.ndarray
+    #: ``(8,)`` species of the atom that would migrate in each direction.
+    migrating_species: np.ndarray
+
+
+class VacancySystemEvaluator:
+    """Evaluates hop energetics of vacancy systems for a fixed TET/potential.
+
+    Parameters
+    ----------
+    tet:
+        The triple-encoding tables (geometry).
+    potential:
+        Any counts-based potential; its shells must match the TET's.
+    """
+
+    def __init__(self, tet: TripleEncoding, potential: CountsPotential) -> None:
+        if potential.n_shells != tet.n_shells or not np.allclose(
+            potential.shell_distances, tet.shell_distances
+        ):
+            raise ValueError("potential shells do not match the TET shells")
+        self.tet = tet
+        self.potential = potential
+        self.n_elements = getattr(potential, "n_elements", 2)
+        self.vacancy_code = self.n_elements
+        self._n_states = 1 + tet.N_DIRECTIONS
+        # For the delta path: shell of VET site t (centre / each 1NN) in each
+        # region site's neighbour list, or -1 when t is out of its range.
+        shell_of = np.full((self._n_states, tet.n_region), -1, dtype=np.int16)
+        for t in range(self._n_states):
+            rows, cols = np.nonzero(tet.net_ids == t)
+            shell_of[t, rows] = tet.cet_shell[cols]
+        self._shell_of_target = shell_of
+        self._affected = [
+            np.flatnonzero((shell_of[0] >= 0) | (shell_of[1 + k] >= 0))
+            for k in range(tet.N_DIRECTIONS)
+        ]
+
+    def trial_vets(self, vet: np.ndarray) -> np.ndarray:
+        """All trial states as a ``(9, n_all)`` array.
+
+        Row 0 is the current state; row ``1 + k`` has the vacancy swapped
+        with 1NN site ``k`` (VET[0] <-> VET[1 + k], paper Sec. 3.4).
+        """
+        vet = np.asarray(vet)
+        if vet.shape != (self.tet.n_all,):
+            raise ValueError(
+                f"VET must have shape ({self.tet.n_all},), got {vet.shape}"
+            )
+        states = np.broadcast_to(vet, (self._n_states, vet.shape[0])).copy()
+        for k in range(self.tet.N_DIRECTIONS):
+            idx = self.tet.direction_vet_index(k)
+            states[1 + k, 0] = vet[idx]
+            states[1 + k, idx] = vet[0]
+        return states
+
+    def region_features_counts(self, states: np.ndarray) -> np.ndarray:
+        """Shell-type counts of every region site of every state.
+
+        Returns ``(n_states, n_region, n_shells, n_elements)``; this is the
+        exact workload of the fast feature operator (Sec. 3.4).
+        """
+        neighbor_types = states[:, self.tet.net_ids]  # (n_states, n_region, n_local)
+        return counts_from_types(
+            neighbor_types, self.tet.cet_shell, self.tet.n_shells,
+            n_elements=self.n_elements,
+        )
+
+    def evaluate(self, vet: np.ndarray) -> StateEnergies:
+        """Initial energy and per-direction energy changes for one VET."""
+        vet = np.asarray(vet)
+        if vet[self.tet.CENTER] != self.vacancy_code:
+            raise ValueError("VET centre must be a vacancy")
+        states = self.trial_vets(vet)
+        counts = self.region_features_counts(states)
+        n_states, n_region = states.shape[0], self.tet.n_region
+        center_types = states[:, :n_region].reshape(-1)
+        energies = self.potential.energies_from_counts(
+            center_types, counts.reshape(-1, self.tet.n_shells, counts.shape[-1])
+        ).reshape(n_states, n_region)
+        totals = energies.sum(axis=1, dtype=np.float64)
+        nn_species = vet[1 : 1 + self.tet.N_DIRECTIONS]
+        valid = nn_species != self.vacancy_code
+        delta = np.where(valid, totals[1:] - totals[0], 0.0)
+        return StateEnergies(
+            initial=float(totals[0]),
+            delta=delta,
+            valid=valid,
+            migrating_species=nn_species.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Delta path: update only the sites a hop actually affects
+    # ------------------------------------------------------------------
+    def evaluate_delta(self, vet: np.ndarray) -> StateEnergies:
+        """Like :meth:`evaluate`, but via incremental count updates.
+
+        For final state ``k`` only the sites within the cutoff of the centre
+        or the 1NN target change their environment (plus those two sites
+        themselves), so instead of rebuilding all ``9 x n_region`` feature
+        counts, the initial counts are patched per direction:
+
+        * the centre turns from vacancy into the migrating atom — every
+          affected site gains one neighbour of that species in the shell the
+          centre occupies in its list;
+        * the target turns into a vacancy — one neighbour of that species is
+          removed from the target's shell.
+
+        Counts stay exact integers in float32, so per-site energies are
+        bit-identical to the full path; only the final float64 summation
+        order differs (agreement to ~1e-9 eV, verified by the tests).
+        """
+        tet = self.tet
+        vet = np.asarray(vet)
+        if vet.shape != (tet.n_all,):
+            raise ValueError(f"VET must have shape ({tet.n_all},), got {vet.shape}")
+        if vet[tet.CENTER] != self.vacancy_code:
+            raise ValueError("VET centre must be a vacancy")
+
+        # State-0 counts and per-site energies, computed once.
+        neighbor_types = vet[tet.net_ids]
+        counts0 = counts_from_types(
+            neighbor_types, tet.cet_shell, tet.n_shells,
+            n_elements=self.n_elements,
+        )
+        center0 = vet[: tet.n_region]
+        e0 = self.potential.energies_from_counts(center0, counts0)
+        initial = float(np.sum(e0, dtype=np.float64))
+
+        nn_species = vet[1 : 1 + tet.N_DIRECTIONS]
+        valid = nn_species != self.vacancy_code
+        delta = np.zeros(tet.N_DIRECTIONS, dtype=np.float64)
+
+        for k in range(tet.N_DIRECTIONS):
+            if not valid[k]:
+                continue
+            m = tet.direction_vet_index(k)
+            mig = int(nn_species[k])
+            affected = self._affected[k]
+            counts_f = counts0[affected].copy()
+            center_f = center0[affected].copy()
+
+            s0 = self._shell_of_target[0, affected]
+            has0 = s0 >= 0
+            counts_f[np.nonzero(has0)[0], s0[has0], mig] += 1.0
+            sm = self._shell_of_target[m, affected]
+            hasm = sm >= 0
+            counts_f[np.nonzero(hasm)[0], sm[hasm], mig] -= 1.0
+
+            # The two swap sites change their own species.
+            pos0 = np.searchsorted(affected, 0)
+            center_f[pos0] = mig
+            posm = np.searchsorted(affected, m)
+            center_f[posm] = self.vacancy_code
+
+            e_f = self.potential.energies_from_counts(center_f, counts_f)
+            delta[k] = float(
+                np.sum(e_f, dtype=np.float64)
+                - np.sum(e0[affected], dtype=np.float64)
+            )
+        return StateEnergies(
+            initial=initial,
+            delta=delta,
+            valid=valid,
+            migrating_species=nn_species.copy(),
+        )

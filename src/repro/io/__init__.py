@@ -1,0 +1,21 @@
+"""Snapshot persistence and experiment reporting."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .events import load_events, replay_events, save_events
+from .report import ExperimentReport, ReportRow
+from .snapshots import load_lattice, save_lattice
+from .xyz import write_xyz, write_xyz_trajectory
+
+__all__ = [
+    "load_checkpoint",
+    "save_checkpoint",
+    "load_events",
+    "replay_events",
+    "save_events",
+    "ExperimentReport",
+    "ReportRow",
+    "load_lattice",
+    "save_lattice",
+    "write_xyz",
+    "write_xyz_trajectory",
+]

@@ -1,0 +1,53 @@
+"""Paper-vs-measured report rows — shared by all benchmark harnesses.
+
+Every bench prints its result through :class:`ExperimentReport` so that
+EXPERIMENTS.md and the bench output share one format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["ReportRow", "ExperimentReport"]
+
+
+@dataclass(frozen=True)
+class ReportRow:
+    """One quantity compared against the paper."""
+
+    quantity: str
+    paper: str
+    measured: str
+    note: str = ""
+
+
+@dataclass
+class ExperimentReport:
+    """A titled collection of paper-vs-measured rows."""
+
+    experiment: str
+    description: str
+    rows: List[ReportRow] = field(default_factory=list)
+
+    def add(
+        self, quantity: str, paper: str, measured: str, note: str = ""
+    ) -> None:
+        self.rows.append(ReportRow(quantity, paper, measured, note))
+
+    def render(self, width: Optional[int] = None) -> str:
+        """Aligned text table."""
+        headers = ("quantity", "paper", "measured", "note")
+        table = [headers] + [
+            (r.quantity, r.paper, r.measured, r.note) for r in self.rows
+        ]
+        widths = [max(len(row[i]) for row in table) for i in range(4)]
+        lines = [f"== {self.experiment}: {self.description} =="]
+        for row in table:
+            lines.append(
+                "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console helper
+        print(self.render())

@@ -1,0 +1,28 @@
+"""Lattice snapshot persistence (npz)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lattice.occupancy import LatticeState
+
+__all__ = ["save_lattice", "load_lattice"]
+
+
+def save_lattice(path: str, lattice: LatticeState, time: float = 0.0) -> None:
+    """Write a lattice state (occupancy + geometry + clock) to ``path``."""
+    np.savez_compressed(
+        path,
+        occupancy=lattice.occupancy,
+        shape=np.array(lattice.shape, dtype=np.int64),
+        a=np.array([lattice.a]),
+        time=np.array([time]),
+    )
+
+
+def load_lattice(path: str) -> tuple[LatticeState, float]:
+    """Inverse of :func:`save_lattice`; returns ``(lattice, time)``."""
+    data = np.load(path)
+    lattice = LatticeState(tuple(data["shape"]), a=float(data["a"][0]))
+    lattice.occupancy = data["occupancy"].astype(np.uint8)
+    return lattice, float(data["time"][0])

@@ -1,0 +1,19 @@
+"""BCC lattice substrate: geometry, occupancy, indexing, and domain windows."""
+
+from .bcc import BCCGeometry, NeighborShells, first_nn_offsets
+from .domain import DomainBox, LocalWindow, ghost_cells_for_cutoff
+from .indexing import DirectIndexer, PaddedWindow, PosIdIndexer
+from .occupancy import LatticeState
+
+__all__ = [
+    "BCCGeometry",
+    "NeighborShells",
+    "first_nn_offsets",
+    "DomainBox",
+    "LocalWindow",
+    "ghost_cells_for_cutoff",
+    "DirectIndexer",
+    "PaddedWindow",
+    "PosIdIndexer",
+    "LatticeState",
+]

@@ -1,0 +1,28 @@
+"""Neural network potential stack: descriptors, networks, datasets, training."""
+
+from .dataset import Structure, generate_structures, train_test_split
+from .descriptors import PairList, build_pair_list, structure_features, structure_forces
+from .metrics import mae, parity_report, r2_score, rmse
+from .model import NNPotential
+from .network import AtomicNetwork, ElementNetworks
+from .training import Adam, NNPTrainer, TrainingHistory
+
+__all__ = [
+    "Structure",
+    "generate_structures",
+    "train_test_split",
+    "PairList",
+    "build_pair_list",
+    "structure_features",
+    "structure_forces",
+    "mae",
+    "parity_report",
+    "r2_score",
+    "rmse",
+    "NNPotential",
+    "AtomicNetwork",
+    "ElementNetworks",
+    "Adam",
+    "NNPTrainer",
+    "TrainingHistory",
+]

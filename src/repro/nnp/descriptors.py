@@ -1,0 +1,159 @@
+"""Off-lattice descriptor evaluation (paper Eq. 5) for training structures.
+
+The rigid-lattice engines use the tabulated Eq. 6 path in
+:mod:`repro.potentials.tables`; training structures have *continuous*
+positions (thermal displacement snapshots), so here the exponential term is
+evaluated directly, summing over all periodic images within the cutoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import N_ELEMENTS
+from ..potentials.tables import FeatureTable
+
+__all__ = [
+    "PairList",
+    "build_pair_list",
+    "structure_features",
+    "structure_forces",
+    "structure_forces_vjp",
+]
+
+
+@dataclass(frozen=True)
+class PairList:
+    """All ordered in-cutoff pairs (including periodic images) of a structure.
+
+    ``i`` and ``j`` index atoms; ``unit[p]`` is the unit vector from atom
+    ``i[p]`` to the image of atom ``j[p]``; ``r[p]`` its length.
+    """
+
+    i: np.ndarray
+    j: np.ndarray
+    r: np.ndarray
+    unit: np.ndarray
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.i.shape[0])
+
+
+def build_pair_list(
+    positions: np.ndarray, cell: np.ndarray, rcut: float
+) -> PairList:
+    """Enumerate ordered in-cutoff pairs with full periodic-image summation."""
+    positions = np.asarray(positions, dtype=np.float64)
+    cell = np.asarray(cell, dtype=np.float64)
+    n = positions.shape[0]
+    reps = np.ceil(rcut / cell).astype(np.int64)
+    shifts = np.stack(
+        np.meshgrid(*(np.arange(-m, m + 1) for m in reps), indexing="ij"), axis=-1
+    ).reshape(-1, 3).astype(np.float64) * cell
+
+    delta = (
+        positions[None, :, None, :] + shifts[None, None, :, :]
+        - positions[:, None, None, :]
+    )
+    dist = np.sqrt(np.sum(delta**2, axis=-1))
+    self_pair = (
+        (np.arange(n)[:, None, None] == np.arange(n)[None, :, None])
+        & (np.sum(np.abs(shifts), axis=-1) < 1e-12)[None, None, :]
+    )
+    within = (dist < rcut) & ~self_pair
+    ii, jj, ss = np.nonzero(within)
+    r = dist[ii, jj, ss]
+    unit = delta[ii, jj, ss] / r[:, None]
+    return PairList(i=ii, j=jj, r=r, unit=unit)
+
+
+def structure_features(
+    species: np.ndarray,
+    pairs: PairList,
+    table: FeatureTable,
+    n_elements: int = N_ELEMENTS,
+) -> np.ndarray:
+    """Eq. 5 feature matrix ``(n_atoms, n_elements * n_dim)``.
+
+    Layout matches :meth:`FeatureTable.features_from_counts`:
+    ``f[i, e * n_dim + d] = sum over neighbours j of species e``.
+    """
+    species = np.asarray(species)
+    n_atoms = species.shape[0]
+    n_dim = table.n_dim
+    terms = table.continuous_term(pairs.r)  # (n_pairs, n_dim)
+    feats = np.zeros((n_atoms, n_elements, n_dim), dtype=np.float64)
+    np.add.at(feats, (pairs.i, species[pairs.j]), terms)
+    return feats.reshape(n_atoms, n_elements * n_dim)
+
+
+def structure_forces(
+    species: np.ndarray,
+    pairs: PairList,
+    table: FeatureTable,
+    dE_dfeat: np.ndarray,
+    n_elements: int = N_ELEMENTS,
+) -> np.ndarray:
+    """Forces ``(n_atoms, 3)`` from per-atom feature gradients.
+
+    Parameters
+    ----------
+    dE_dfeat:
+        ``(n_atoms, n_elements * n_dim)`` gradient of the total energy with
+        respect to each atom's features (network input gradient).
+
+    Notes
+    -----
+    For pair ``(i -> j)`` the feature block of atom i for element
+    ``species[j]`` changes by ``g(r_ij)``; moving atom j along ``unit_ij``
+    increases r, so the chain rule yields a scalar
+    ``w = dE/df_i[spec_j block] . g'(r_ij)`` and force contributions
+    ``-w * unit`` on atom j and ``+w * unit`` on atom i.
+    """
+    species = np.asarray(species)
+    n_atoms = species.shape[0]
+    n_dim = table.n_dim
+    dE = np.asarray(dE_dfeat, dtype=np.float64).reshape(n_atoms, n_elements, n_dim)
+    gprime = table.continuous_term_deriv(pairs.r)  # (n_pairs, n_dim)
+    w = np.einsum("pd,pd->p", dE[pairs.i, species[pairs.j]], gprime)
+    forces = np.zeros((n_atoms, 3), dtype=np.float64)
+    contrib = w[:, None] * pairs.unit
+    np.add.at(forces, pairs.j, -contrib)
+    np.add.at(forces, pairs.i, contrib)
+    return forces
+
+
+def structure_forces_vjp(
+    species: np.ndarray,
+    pairs: PairList,
+    table: FeatureTable,
+    force_residual: np.ndarray,
+    n_elements: int = N_ELEMENTS,
+) -> np.ndarray:
+    """Transpose of :func:`structure_forces` — the force-training adjoint.
+
+    Given ``dL/dF`` (``force_residual``, shape ``(n_atoms, 3)``) this returns
+    ``dL/d(dE_dfeat)`` with shape ``(n_atoms, n_elements * n_dim)``:
+    exactly the vector the double-backprop pass needs to differentiate the
+    force loss with respect to the network parameters.
+
+    Derivation: :func:`structure_forces` computes
+    ``F[a] = sum_p w_p * unit_p * ([a == i_p] - [a == j_p])`` with
+    ``w_p = dE[i_p, spec(j_p) block] . g'(r_p)``, so
+    ``dL/dw_p = (R[i_p] - R[j_p]) . unit_p`` and the adjoint scatters
+    ``dL/dw_p * g'(r_p)`` into the ``(i_p, spec(j_p))`` feature block.
+    """
+    species = np.asarray(species)
+    n_atoms = species.shape[0]
+    n_dim = table.n_dim
+    R = np.asarray(force_residual, dtype=np.float64)
+    gprime = table.continuous_term_deriv(pairs.r)  # (n_pairs, n_dim)
+    dL_dw = np.einsum(
+        "pc,pc->p", R[pairs.i] - R[pairs.j], pairs.unit
+    )
+    out = np.zeros((n_atoms, n_elements, n_dim), dtype=np.float64)
+    np.add.at(out, (pairs.i, species[pairs.j]), dL_dw[:, None] * gprime)
+    return out.reshape(n_atoms, n_elements * n_dim)

@@ -1,0 +1,40 @@
+"""Regression metrics for the Fig. 7 parity evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["mae", "rmse", "r2_score", "parity_report"]
+
+
+def mae(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Mean absolute error."""
+    return float(np.mean(np.abs(np.asarray(predicted) - np.asarray(reference))))
+
+
+def rmse(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Root mean squared error."""
+    d = np.asarray(predicted) - np.asarray(reference)
+    return float(np.sqrt(np.mean(d * d)))
+
+
+def r2_score(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Coefficient of determination R^2 (1 = perfect regression)."""
+    reference = np.asarray(reference, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    ss_res = float(np.sum((reference - predicted) ** 2))
+    ss_tot = float(np.sum((reference - reference.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def parity_report(predicted: np.ndarray, reference: np.ndarray) -> Dict[str, float]:
+    """The three numbers Fig. 7 reports for one quantity."""
+    return {
+        "mae": mae(predicted, reference),
+        "rmse": rmse(predicted, reference),
+        "r2": r2_score(predicted, reference),
+    }

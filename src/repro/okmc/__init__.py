@@ -1,0 +1,6 @@
+"""Object & event kinetic Monte Carlo — the coarse-grained comparators."""
+
+from .ekmc import EKMCModel
+from .model import DefectObject, OKMCModel, OKMCParameters
+
+__all__ = ["EKMCModel", "DefectObject", "OKMCModel", "OKMCParameters"]

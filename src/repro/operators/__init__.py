@@ -1,0 +1,35 @@
+"""Sunway operator kernels: conv, fusion, big-fusion, and feature operators."""
+
+from .bigfusion import BigFusionOperator
+from .conv import bias_add, conv1x1_loop, conv1x1_matmul, relu
+from .feature_op import FEATURE_ENTRY_BYTES, FastFeatureOperator, features_mpe_serial
+from .fused import fused_layer, layered_forward
+from .variants import (
+    FUSED_GEMM_EFF,
+    MATMUL_BLOCKING,
+    SIMD_GEMM_EFF,
+    OperatorVariant,
+    fig10_ladder,
+    ladder_speedups,
+    paper_bands,
+)
+
+__all__ = [
+    "BigFusionOperator",
+    "bias_add",
+    "conv1x1_loop",
+    "conv1x1_matmul",
+    "relu",
+    "FEATURE_ENTRY_BYTES",
+    "FastFeatureOperator",
+    "features_mpe_serial",
+    "fused_layer",
+    "layered_forward",
+    "FUSED_GEMM_EFF",
+    "MATMUL_BLOCKING",
+    "SIMD_GEMM_EFF",
+    "OperatorVariant",
+    "fig10_ladder",
+    "ladder_speedups",
+    "paper_bands",
+]

@@ -1,0 +1,39 @@
+"""Parallel AKMC: simulated MPI, decomposition, ghosts, sublattice driver."""
+
+from .comm import CommStats, SimComm, SimCommWorld, allreduce_sum
+from .decomposition import GridDecomposition, choose_grid
+from .engine import CycleStats, RankState, SublatticeKMC
+from .ghost import GhostExchanger, SiteUpdates, in_padded_box, window_images
+from .scaling_model import (
+    CORES_PER_CG,
+    ScalingParameters,
+    ScalingPoint,
+    parallel_efficiency,
+    strong_scaling,
+    weak_scaling,
+)
+from .sublattice import N_SECTORS, SectorGeometry
+
+__all__ = [
+    "CommStats",
+    "SimComm",
+    "SimCommWorld",
+    "allreduce_sum",
+    "GridDecomposition",
+    "choose_grid",
+    "CycleStats",
+    "RankState",
+    "SublatticeKMC",
+    "GhostExchanger",
+    "SiteUpdates",
+    "in_padded_box",
+    "window_images",
+    "CORES_PER_CG",
+    "ScalingParameters",
+    "ScalingPoint",
+    "parallel_efficiency",
+    "strong_scaling",
+    "weak_scaling",
+    "N_SECTORS",
+    "SectorGeometry",
+]

@@ -1,0 +1,142 @@
+"""SimComm — a deterministic in-process MPI substitute.
+
+The paper runs on swmpi across up to 422,400 processes; we do not have an MPI
+runtime (or the machine), so the synchronous sublattice protocol runs against
+this communicator: every rank is a Python object, messages are enqueued into
+per-destination mailboxes, and the driver advances all ranks in lockstep
+phases.  The protocol being validated (conflict-free boundary hops, ghost
+consistency, time synchronisation) is transport-independent, and SimComm
+additionally *counts* every message and byte so the scaling model can be
+calibrated from real traffic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Tuple
+
+__all__ = ["CommStats", "SimComm", "SimCommWorld"]
+
+
+@dataclass
+class CommStats:
+    """Traffic counters, the calibration input of the scaling model."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    barriers: int = 0
+    collectives: int = 0
+
+    def merge(self, other: "CommStats") -> None:
+        self.messages_sent += other.messages_sent
+        self.bytes_sent += other.bytes_sent
+        self.barriers += other.barriers
+        self.collectives += other.collectives
+
+
+def _payload_bytes(payload: Any) -> int:
+    """Approximate wire size of a payload (NumPy arrays dominate)."""
+    nbytes = getattr(payload, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(payload, (tuple, list)):
+        return sum(_payload_bytes(p) for p in payload)
+    if isinstance(payload, dict):
+        return sum(_payload_bytes(v) for v in payload.values())
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, (bytes, str)):
+        return len(payload)
+    return 64  # conservative default for small objects
+
+
+class SimCommWorld:
+    """The shared mail system of one communicator group."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"communicator size must be >= 1, got {size}")
+        self.size = size
+        # mailbox[(dest, tag)] holds (src, payload) in send order.
+        self.mailboxes: Dict[Tuple[int, Any], Deque[Tuple[int, Any]]] = defaultdict(deque)
+        self.stats = CommStats()
+
+    def comm(self, rank: int) -> "SimComm":
+        """The endpoint of one rank."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        return SimComm(self, rank)
+
+    def assert_drained(self) -> None:
+        """Protocol check: no unconsumed messages may remain."""
+        leftover = {k: len(v) for k, v in self.mailboxes.items() if v}
+        if leftover:
+            raise RuntimeError(f"undelivered messages remain: {leftover}")
+
+
+@dataclass
+class SimComm:
+    """One rank's endpoint (mirrors the small slice of MPI we need)."""
+
+    world: SimCommWorld
+    rank: int
+    local_stats: CommStats = field(default_factory=CommStats)
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    # ------------------------------------------------------------------
+    def send(self, dest: int, tag: Any, payload: Any) -> None:
+        """Enqueue a message (non-blocking, buffered — like MPI_Isend+wait)."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination {dest} out of range")
+        self.world.mailboxes[(dest, tag)].append((self.rank, payload))
+        nbytes = _payload_bytes(payload)
+        for stats in (self.world.stats, self.local_stats):
+            stats.messages_sent += 1
+            stats.bytes_sent += nbytes
+
+    def recv(self, src: int, tag: Any) -> Any:
+        """Receive the next message with ``tag`` from ``src`` (must exist).
+
+        The lockstep driver guarantees sends complete before the matching
+        phase's receives, so a missing message is a protocol bug, not a race.
+        """
+        box = self.world.mailboxes[(self.rank, tag)]
+        for i, (s, payload) in enumerate(box):
+            if s == src:
+                del box[i]
+                return payload
+        raise RuntimeError(
+            f"rank {self.rank}: no message with tag {tag!r} from {src}"
+        )
+
+    def recv_all(self, tag: Any) -> List[Tuple[int, Any]]:
+        """Drain every pending message with ``tag`` (any source), send order."""
+        box = self.world.mailboxes[(self.rank, tag)]
+        out = list(box)
+        box.clear()
+        return out
+
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Counted no-op: the lockstep driver provides the synchronisation."""
+        self.world.stats.barriers += 1
+        self.local_stats.barriers += 1
+
+    def allreduce_sum(self, values: List[float]) -> None:  # pragma: no cover
+        """Placeholder endpoint; use :func:`allreduce_sum` on the driver side."""
+        raise NotImplementedError(
+            "collectives are driver-side in SimComm: see drivers in "
+            "repro.parallel.engine"
+        )
+
+
+def allreduce_sum(world: SimCommWorld, contributions: List[float]) -> float:
+    """Driver-side sum-allreduce over per-rank contributions (counted)."""
+    if len(contributions) != world.size:
+        raise ValueError("one contribution per rank required")
+    world.stats.collectives += 1
+    return float(sum(contributions))

@@ -1,0 +1,15 @@
+"""Interatomic potentials: the counts-based interface, the Fe-Cu EAM
+baseline/oracle, and the pre-computed descriptor tables (paper Eq. 6)."""
+
+from .base import CountsPotential, counts_from_types
+from .eam import EAMParameters, EAMPotential
+from .tables import FeatureTable, make_pq_grid
+
+__all__ = [
+    "CountsPotential",
+    "counts_from_types",
+    "EAMParameters",
+    "EAMPotential",
+    "FeatureTable",
+    "make_pq_grid",
+]

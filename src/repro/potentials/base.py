@@ -1,0 +1,109 @@
+"""Potential interfaces shared by the AKMC engines and the NNP stack.
+
+On a rigid BCC lattice every interatomic distance is one of a handful of
+neighbour-shell distances, so any local potential can be evaluated from the
+*shell-type counts* tensor ``counts[site, shell, element]`` — the number of
+neighbours of each element in each shell around a site.  Both the EAM baseline
+and the neural-network potential implement :class:`CountsPotential`; this is
+the abstraction the triple-encoding tabulation feeds (paper Eq. 6).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..constants import N_ELEMENTS
+
+__all__ = ["CountsPotential", "counts_from_types"]
+
+
+class CountsPotential(ABC):
+    """A potential evaluable from shell-type counts on a rigid lattice.
+
+    Implementations are constructed for a fixed set of neighbour shells
+    (``shell_distances``) so that radial functions can be pre-tabulated.
+
+    Species convention: element codes are ``0 .. n_elements - 1`` and the
+    vacancy code is exactly ``n_elements`` (2 for the default Fe-Cu binary,
+    3 for a ternary, ...).
+    """
+
+    #: Distances (Angstrom) of the neighbour shells this potential was
+    #: tabulated for; ``counts`` tensors must use the same shell ordering.
+    shell_distances: np.ndarray
+
+    #: Number of chemical elements (override for multicomponent systems).
+    n_elements: int = N_ELEMENTS
+
+    @property
+    def vacancy_code(self) -> int:
+        """The species code marking vacant sites (``n_elements``)."""
+        return self.n_elements
+
+    @property
+    def n_shells(self) -> int:
+        return int(self.shell_distances.shape[0])
+
+    @abstractmethod
+    def energies_from_counts(
+        self, center_types: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """Per-atom energies (eV) for sites described by shell-type counts.
+
+        Parameters
+        ----------
+        center_types:
+            ``(n,)`` species codes of the centre sites.  Vacant sites must
+            yield exactly 0.0 energy.
+        counts:
+            ``(n, n_shells, n_elements)`` neighbour counts (vacancy
+            neighbours are *not* counted — they contribute nothing).
+        """
+
+    def region_energy(self, center_types: np.ndarray, counts: np.ndarray) -> float:
+        """Total energy (eV) of a set of sites — sum of per-atom energies."""
+        return float(np.sum(self.energies_from_counts(center_types, counts)))
+
+
+def counts_from_types(
+    neighbor_types: np.ndarray,
+    neighbor_shell: np.ndarray,
+    n_shells: int,
+    n_elements: int = N_ELEMENTS,
+) -> np.ndarray:
+    """Build the shell-type counts tensor from per-site neighbour types.
+
+    Parameters
+    ----------
+    neighbor_types:
+        ``(..., n_local)`` species codes of each site's neighbours
+        (vacancy entries — any code >= ``n_elements`` — are skipped).
+    neighbor_shell:
+        ``(n_local,)`` shell index of each neighbour slot (shared by all
+        sites: shell only depends on the relative offset, see NET).
+    n_shells, n_elements:
+        Output tensor dimensions.
+
+    Returns
+    -------
+    ``(..., n_shells, n_elements)`` float32 counts tensor.
+    """
+    neighbor_types = np.asarray(neighbor_types)
+    lead_shape = neighbor_types.shape[:-1]
+    n_local = neighbor_types.shape[-1]
+    flat_types = neighbor_types.reshape(-1, n_local)
+    n_rows = flat_types.shape[0]
+
+    shell = np.broadcast_to(neighbor_shell, (n_rows, n_local))
+    valid = flat_types < n_elements
+    row = np.broadcast_to(np.arange(n_rows)[:, None], (n_rows, n_local))
+    # Flattened bin index: ((row * n_shells) + shell) * n_elements + type.
+    bins = (row[valid] * n_shells + shell[valid]) * n_elements + flat_types[valid]
+    counts = np.bincount(bins, minlength=n_rows * n_shells * n_elements)
+    return (
+        counts.reshape(n_rows, n_shells, n_elements)
+        .reshape(*lead_shape, n_shells, n_elements)
+        .astype(np.float32)
+    )

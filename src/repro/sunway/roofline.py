@@ -1,0 +1,112 @@
+"""Roofline model of the energy kernels (paper Fig. 9).
+
+The roofline bounds attainable performance by
+``min(peak, AI * bandwidth)`` where AI is the kernel's arithmetic intensity.
+This module computes, for the paper's NNP workload, the per-layer AI of the
+original per-layer fused operator and the single AI of the big-fusion
+operator, together with their total main-memory traffic — the quantities the
+Fig. 9 table reports (AI 0.48-21.3 vs ~500; traffic tens of MB vs ~2 MB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .spec import SunwaySpec
+
+__all__ = ["LayerRoofline", "RooflineAnalysis", "analyse_network"]
+
+_F32 = 4  # bytes per float32
+
+
+@dataclass(frozen=True)
+class LayerRoofline:
+    """Roofline data of one (Conv2D + Bias + ReLU) layer."""
+
+    c_in: int
+    c_out: int
+    flops: float
+    bytes: float
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flops / self.bytes
+
+
+@dataclass(frozen=True)
+class RooflineAnalysis:
+    """Fig. 9 summary for one workload (batch of M atoms, given channels)."""
+
+    m: int
+    channels: Tuple[int, ...]
+    layers: List[LayerRoofline]
+    fused_flops: float
+    fused_bytes: float
+    spec: SunwaySpec
+
+    @property
+    def per_layer_ai(self) -> List[float]:
+        return [l.arithmetic_intensity for l in self.layers]
+
+    @property
+    def original_total_bytes(self) -> float:
+        return sum(l.bytes for l in self.layers)
+
+    @property
+    def fused_ai(self) -> float:
+        return self.fused_flops / self.fused_bytes
+
+    def attainable(self, ai: float) -> float:
+        """Roofline-attainable FLOP/s at a given arithmetic intensity."""
+        return min(self.spec.peak_flops_sp, ai * self.spec.mem_bandwidth)
+
+    @property
+    def original_bound(self) -> str:
+        """Which roof limits the per-layer operator."""
+        worst = min(self.per_layer_ai)
+        return "memory" if worst < self.spec.ridge_point else "compute"
+
+    @property
+    def fused_bound(self) -> str:
+        return "memory" if self.fused_ai < self.spec.ridge_point else "compute"
+
+
+def layer_flops(m: int, c_in: int, c_out: int) -> float:
+    """FLOPs of one 1x1-conv layer: GEMM (2 m c_in c_out) + bias + ReLU."""
+    return 2.0 * m * c_in * c_out + 2.0 * m * c_out
+
+
+def analyse_network(
+    m: int,
+    channels: Sequence[int],
+    spec: SunwaySpec,
+) -> RooflineAnalysis:
+    """Roofline analysis of an NNP evaluated on ``m`` atoms.
+
+    The *original* operator runs each layer as its own kernel: it reads the
+    layer input and weights from main memory and writes the output back, so
+    each layer is charged ``m*(c_in + c_out)*4 + weights`` bytes.  The
+    *big-fusion* operator keeps everything in LDM: only the first input and
+    final output touch main memory (paper Fig. 6c).
+    """
+    channels = tuple(int(c) for c in channels)
+    layers: List[LayerRoofline] = []
+    for c_in, c_out in zip(channels[:-1], channels[1:]):
+        nbytes = _F32 * (m * c_in + m * c_out + c_in * c_out + c_out)
+        layers.append(
+            LayerRoofline(
+                c_in=c_in, c_out=c_out, flops=layer_flops(m, c_in, c_out),
+                bytes=nbytes,
+            )
+        )
+    fused_flops = sum(l.flops for l in layers)
+    fused_bytes = _F32 * (m * channels[0] + m * channels[-1])
+    return RooflineAnalysis(
+        m=m,
+        channels=channels,
+        layers=layers,
+        fused_flops=fused_flops,
+        fused_bytes=fused_bytes,
+        spec=spec,
+    )

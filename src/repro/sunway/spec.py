@@ -1,0 +1,94 @@
+"""SW26010-pro machine description — the simulated Sunway substrate.
+
+We do not have the hardware, so the operator experiments (Figs. 9-11) run
+against this explicit machine model: every kernel executes *functionally* in
+NumPy while its cost is charged to the modeled core group.  Parameters are
+chosen to match the public SW26010-pro numbers and the paper's own roofline:
+the paper quotes a machine balance point of 43.63 FLOPs/Byte (Fig. 9), which
+pins ``peak_flops_sp / mem_bandwidth``.
+
+Derived single-CG figures:
+
+* 64 CPEs x ~34.9 GFLOPS (SP, SIMD) = 2.234 TFLOPS peak
+* main-memory bandwidth 51.2 GB/s  -> ridge 2.234e12 / 51.2e9 = 43.63 ✓
+* LDM 256 KiB per CPE, RMA ~8x main-memory bandwidth inside a CG
+
+The x86 comparison platform of Fig. 11 (AMD EPYC 7452, one core,
+libtensorflow) is modeled alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SunwaySpec", "X86Spec", "SW26010_PRO", "EPYC_7452"]
+
+
+@dataclass(frozen=True)
+class SunwaySpec:
+    """One SW26010-pro core group (CG) and its CPE cluster."""
+
+    #: Number of CPEs in the cluster (8 x 8 mesh).
+    n_cpes: int = 64
+    #: Local device memory per CPE in bytes (256 KiB).
+    ldm_bytes: int = 256 * 1024
+    #: Single-precision SIMD peak of one CPE (FLOP/s).
+    cpe_peak_flops: float = 34.9e9
+    #: Sustained fraction of peak for well-blocked fused GEMM kernels —
+    #: the paper reports the big-fusion operator reaching 76.64% of peak.
+    gemm_efficiency: float = 0.7664
+    #: Effective scalar (non-SIMD) throughput of one CPE (FLOP/s) for a
+    #: naive convolution loop (no SIMD, no FMA pairing, little ILP).
+    cpe_scalar_flops: float = 0.235e9
+    #: Effective scalar throughput of the MPE (FLOP/s).
+    mpe_scalar_flops: float = 2.2e9
+    #: Main-memory (DMA) bandwidth shared by a CG (B/s).
+    mem_bandwidth: float = 51.2e9
+    #: Effective bandwidth of strided/random main-memory access from the
+    #: MPE (gather-heavy code like the serial feature loop), B/s.
+    mpe_random_bandwidth: float = 2.0e9
+    #: Effective per-CPE bandwidth for scalar gather loops over LDM-resident
+    #: tables (the fast feature operator's inner loop), B/s.
+    ldm_gather_bandwidth: float = 1.875e9
+    #: Aggregate RMA bandwidth between CPEs of one CG (B/s).
+    rma_bandwidth: float = 400.0e9
+    #: Per-DMA-transaction latency (s).
+    dma_latency: float = 1.0e-6
+    #: Per-RMA-transaction latency (s).
+    rma_latency: float = 0.2e-6
+
+    @property
+    def peak_flops_sp(self) -> float:
+        """Aggregate single-precision peak of the CPE cluster (FLOP/s)."""
+        return self.n_cpes * self.cpe_peak_flops
+
+    @property
+    def ridge_point(self) -> float:
+        """Roofline balance point in FLOPs/Byte (paper: 43.63)."""
+        return self.peak_flops_sp / self.mem_bandwidth
+
+
+@dataclass(frozen=True)
+class X86Spec:
+    """One AMD EPYC 7452 core running libtensorflow (Fig. 11's 'x86')."""
+
+    #: Effective SP throughput of TensorFlow's FusedConv2D on the EPYC 7452
+    #: socket (libtensorflow_cc runs its kernels multi-threaded even from a
+    #: serial driver, which is how the paper's 'serial x86' is configured).
+    peak_flops: float = 180.0e9
+    gemm_efficiency: float = 0.65
+    #: Per-core share of memory bandwidth (B/s).
+    mem_bandwidth: float = 20.0e9
+    #: Effective bandwidth for gather-heavy scalar code (B/s) — large caches
+    #: make the EPYC far better at this than the MPE (paper Sec. 4.3.1 finds
+    #: the MPE ~5x slower on the feature gather).
+    random_bandwidth: float = 9.0e9
+
+    @property
+    def ridge_point(self) -> float:
+        return self.peak_flops * self.gemm_efficiency / self.mem_bandwidth
+
+
+#: Default instances used across the benchmarks.
+SW26010_PRO = SunwaySpec()
+EPYC_7452 = X86Spec()

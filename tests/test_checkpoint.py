@@ -1,0 +1,108 @@
+"""Checkpoint/restart and event-log replay: bit-exact continuation."""
+
+import numpy as np
+import pytest
+
+from repro.core import TensorKMCEngine
+from repro.io import (
+    load_checkpoint,
+    load_events,
+    replay_events,
+    save_checkpoint,
+    save_events,
+)
+from repro.lattice import LatticeState
+
+
+def _engine(tet, pot, seed=5, **kw):
+    lattice = LatticeState((8, 8, 8))
+    lattice.randomize_alloy(np.random.default_rng(11), 0.05, 0.003)
+    return TensorKMCEngine(
+        lattice, pot, tet, temperature=900.0,
+        rng=np.random.default_rng(seed), **kw,
+    )
+
+
+class TestCheckpoint:
+    def test_restart_continues_bit_exactly(self, tmp_path, tet_small, eam_small):
+        reference = _engine(tet_small, eam_small)
+        reference.run(n_steps=30)
+        path = str(tmp_path / "ck.npz")
+
+        interrupted = _engine(tet_small, eam_small)
+        interrupted.run(n_steps=15)
+        save_checkpoint(path, interrupted)
+        resumed = load_checkpoint(path, eam_small, tet=tet_small)
+        resumed.run(n_steps=15)
+
+        assert np.array_equal(
+            resumed.lattice.occupancy, reference.lattice.occupancy
+        )
+        assert resumed.time == reference.time
+        assert resumed.step_count == reference.step_count
+
+    def test_checkpoint_restores_metadata(self, tmp_path, tet_small, eam_small):
+        engine = _engine(tet_small, eam_small, propensity="linear",
+                         evaluation="delta")
+        engine.run(n_steps=5)
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, engine)
+        resumed = load_checkpoint(path, eam_small, tet=tet_small)
+        assert resumed.evaluation == "delta"
+        assert type(resumed.store).__name__ == "LinearPropensity"
+        assert resumed.rate_model.temperature == 900.0
+        assert resumed.cache.sites == engine.cache.sites
+
+    def test_tet_rebuilt_from_stored_cutoff(self, tmp_path, tet_small, eam_small):
+        engine = _engine(tet_small, eam_small)
+        engine.run(n_steps=3)
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, engine)
+        resumed = load_checkpoint(path, eam_small)  # no tet passed
+        assert resumed.tet.rcut == tet_small.rcut
+
+    def test_corrupted_occupancy_detected(self, tmp_path, tet_small, eam_small):
+        engine = _engine(tet_small, eam_small)
+        engine.run(n_steps=3)
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, engine)
+        data = dict(np.load(path, allow_pickle=False))
+        occ = data["occupancy"].copy()
+        occ[occ == 2] = 0  # erase the vacancies
+        data["occupancy"] = occ
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, eam_small, tet=tet_small)
+
+
+class TestEventLog:
+    def test_save_load_roundtrip(self, tmp_path, tet_small, eam_small):
+        engine = _engine(tet_small, eam_small)
+        engine.record_events = True
+        engine.run(n_steps=20)
+        path = str(tmp_path / "events.npz")
+        save_events(path, engine.events)
+        loaded = load_events(path)
+        assert loaded == engine.events
+
+    def test_replay_reaches_final_state(self, tmp_path, tet_small, eam_small):
+        engine = _engine(tet_small, eam_small)
+        initial = engine.lattice.copy()
+        engine.record_events = True
+        engine.run(n_steps=40)
+        replayed = replay_events(initial, engine.events)
+        assert np.array_equal(replayed.occupancy, engine.lattice.occupancy)
+        assert not np.array_equal(initial.occupancy, engine.lattice.occupancy)
+
+    def test_replay_detects_wrong_initial_state(self, tet_small, eam_small):
+        engine = _engine(tet_small, eam_small)
+        engine.record_events = True
+        engine.run(n_steps=10)
+        wrong = LatticeState((8, 8, 8))  # pure Fe, no vacancies
+        with pytest.raises(ValueError):
+            replay_events(wrong, engine.events)
+
+    def test_empty_log(self, tmp_path):
+        path = str(tmp_path / "empty.npz")
+        save_events(path, [])
+        assert load_events(path) == []

@@ -1,0 +1,138 @@
+"""CLI: all three subcommands end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_lattice
+from repro.nnp.model import NNPotential
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.steps == 1000
+        assert args.evaluation == "full"
+
+    def test_train_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+
+class TestRunCommand:
+    def test_run_prints_summary(self, capsys, tmp_path):
+        snap = str(tmp_path / "final.npz")
+        xyz = str(tmp_path / "final.xyz")
+        code = main([
+            "run", "--box", "8", "--steps", "40", "--temperature", "800",
+            "--snapshot", snap, "--xyz", xyz, "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events = 40" in out
+        assert "time_s = " in out
+        lattice, t = load_lattice(snap)
+        assert t > 0
+        assert lattice.shape == (8, 8, 8)
+        assert open(xyz).readline().strip() == str(lattice.n_sites)
+
+    def test_run_delta_evaluation(self, capsys):
+        code = main([
+            "run", "--box", "8", "--steps", "10", "--temperature", "800",
+            "--evaluation", "delta",
+        ])
+        assert code == 0
+        assert "events = 10" in capsys.readouterr().out
+
+
+class TestParallelCommand:
+    def test_parallel_conserves_species(self, capsys):
+        code = main([
+            "parallel", "--box", "16", "--ranks", "2", "--cycles", "8",
+            "--temperature", "900", "--vacancies", "0.003",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "species_conserved = True" in out
+        assert "ghosts_consistent = True" in out
+
+
+class TestTrainCommand:
+    def test_train_saves_loadable_model(self, capsys, tmp_path):
+        path = str(tmp_path / "model.npz")
+        code = main([
+            "train", "--rcut", "2.87", "--structures", "14",
+            "--epochs", "8", "--channels", "64", "8", "1",
+            "--output", path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "energy_mae_ev_per_atom" in out
+        model = NNPotential.load(path)
+        counts = np.ones((2, model.table.n_shells, 2), dtype=np.float32)
+        energies = model.energies_from_counts(np.array([0, 1]), counts)
+        assert np.all(np.isfinite(energies))
+
+    def test_trained_model_drives_run(self, capsys, tmp_path):
+        path = str(tmp_path / "model.npz")
+        assert main([
+            "train", "--rcut", "2.87", "--structures", "12",
+            "--epochs", "4", "--channels", "64", "8", "1",
+            "--output", path,
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "run", "--box", "8", "--steps", "5", "--temperature", "900",
+            "--potential", path,
+        ])
+        assert code == 0
+        assert "events = 5" in capsys.readouterr().out
+
+    def test_shell_mismatch_detected(self, tmp_path, capsys):
+        path = str(tmp_path / "model.npz")
+        assert main([
+            "train", "--rcut", "2.87", "--structures", "12",
+            "--epochs", "2", "--channels", "64", "8", "1",
+            "--output", path,
+        ]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main([
+                "run", "--box", "8", "--steps", "5", "--rcut", "5.8",
+                "--potential", path,
+            ])
+
+
+class TestRestart:
+    def test_run_checkpoint_restart_continues(self, capsys, tmp_path):
+        ck = str(tmp_path / "ck.npz")
+        # full run: 40 steps
+        assert main([
+            "run", "--box", "8", "--steps", "40", "--temperature", "800",
+            "--seed", "3",
+        ]) == 0
+        full = capsys.readouterr().out
+        # split run: 20 steps + checkpoint, then restart + 20 steps
+        assert main([
+            "run", "--box", "8", "--steps", "20", "--temperature", "800",
+            "--seed", "3", "--checkpoint", ck,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "run", "--box", "8", "--steps", "20", "--restart", ck,
+        ]) == 0
+        resumed = capsys.readouterr().out
+
+        def grab(out, key):
+            for line in out.splitlines():
+                if line.startswith(key):
+                    return line
+            raise AssertionError(key)
+
+        assert grab(resumed, "time_s") == grab(full, "time_s")
+        assert "events = 40" in resumed  # step counter carried over

@@ -1,0 +1,119 @@
+"""Cluster analysis: union-find vs networkx, known geometries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    DisjointSet,
+    cluster_sizes,
+    find_clusters,
+    find_clusters_networkx,
+)
+from repro.constants import CU, FE
+from repro.lattice import LatticeState
+
+
+class TestDisjointSet:
+    def test_initial_singletons(self):
+        dsu = DisjointSet(5)
+        assert len(dsu.components()) == 5
+
+    def test_union_merges(self):
+        dsu = DisjointSet(4)
+        dsu.union(0, 1)
+        dsu.union(2, 3)
+        dsu.union(1, 3)
+        assert len(dsu.components()) == 1
+
+    def test_union_idempotent(self):
+        dsu = DisjointSet(3)
+        dsu.union(0, 1)
+        dsu.union(0, 1)
+        comps = dsu.components()
+        assert sorted(len(c) for c in comps.values()) == [1, 2]
+
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        edges=st.lists(
+            st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=50
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx_components(self, n, edges):
+        import networkx as nx
+
+        dsu = DisjointSet(n)
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for a, b in edges:
+            if a < n and b < n:
+                dsu.union(a, b)
+                g.add_edge(a, b)
+        ours = sorted(sorted(c) for c in dsu.components().values())
+        theirs = sorted(sorted(c) for c in nx.connected_components(g))
+        assert ours == theirs
+
+
+class TestFindClusters:
+    def _lattice_with_cu(self, sites):
+        lat = LatticeState((8, 8, 8))
+        lat.occupancy[:] = FE
+        for s in sites:
+            lat.occupancy[lat.site_id(*s)] = CU
+        return lat
+
+    def test_no_solutes(self):
+        lat = LatticeState((4, 4, 4))
+        assert find_clusters(lat) == []
+
+    def test_single_atom_is_isolated_cluster(self):
+        lat = self._lattice_with_cu([(0, 2, 2, 2)])
+        clusters = find_clusters(lat)
+        assert len(clusters) == 1 and len(clusters[0]) == 1
+
+    def test_1nn_pair_clusters(self):
+        # corner site and body centre of the same cell are 1NN.
+        lat = self._lattice_with_cu([(0, 2, 2, 2), (1, 2, 2, 2)])
+        clusters = find_clusters(lat, max_shell=0)
+        assert cluster_sizes(clusters).tolist() == [2]
+
+    def test_2nn_pair_needs_max_shell_1(self):
+        # (0,2,2,2) and (0,3,2,2) are 2NN (distance a).
+        lat = self._lattice_with_cu([(0, 2, 2, 2), (0, 3, 2, 2)])
+        assert cluster_sizes(find_clusters(lat, max_shell=0)).tolist() == [1, 1]
+        assert cluster_sizes(find_clusters(lat, max_shell=1)).tolist() == [2]
+
+    def test_distant_atoms_stay_separate(self):
+        lat = self._lattice_with_cu([(0, 0, 0, 0), (0, 4, 4, 4)])
+        assert len(find_clusters(lat)) == 2
+
+    def test_cluster_through_periodic_boundary(self):
+        lat = self._lattice_with_cu([(0, 0, 0, 0), (0, 7, 0, 0)])
+        assert cluster_sizes(find_clusters(lat)).tolist() == [2]
+
+    def test_union_find_matches_networkx(self):
+        lat = LatticeState((6, 6, 6))
+        rng = np.random.default_rng(8)
+        lat.occupancy[:] = np.where(rng.random(lat.n_sites) < 0.12, CU, FE)
+        ours = find_clusters(lat)
+        theirs = find_clusters_networkx(lat)
+        ours_sets = sorted(sorted(int(x) for x in c) for c in ours)
+        theirs_sets = sorted(sorted(int(x) for x in c) for c in theirs)
+        assert ours_sets == theirs_sets
+
+    def test_sizes_sorted_descending(self):
+        lat = LatticeState((6, 6, 6))
+        rng = np.random.default_rng(9)
+        lat.occupancy[:] = np.where(rng.random(lat.n_sites) < 0.2, CU, FE)
+        sizes = cluster_sizes(find_clusters(lat))
+        assert np.all(np.diff(sizes) <= 0)
+
+    def test_total_atoms_partitioned(self):
+        lat = LatticeState((6, 6, 6))
+        rng = np.random.default_rng(10)
+        lat.occupancy[:] = np.where(rng.random(lat.n_sites) < 0.1, CU, FE)
+        clusters = find_clusters(lat)
+        total = sum(len(c) for c in clusters)
+        assert total == int(np.sum(lat.occupancy == CU))

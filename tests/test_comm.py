@@ -1,0 +1,99 @@
+"""SimComm: messaging semantics and traffic accounting."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import SimCommWorld, allreduce_sum
+
+
+class TestMessaging:
+    def test_send_recv(self):
+        world = SimCommWorld(2)
+        a, b = world.comm(0), world.comm(1)
+        a.send(1, "tag", np.arange(4))
+        assert np.array_equal(b.recv(0, "tag"), np.arange(4))
+
+    def test_recv_preserves_send_order(self):
+        world = SimCommWorld(2)
+        a, b = world.comm(0), world.comm(1)
+        a.send(1, "t", 1)
+        a.send(1, "t", 2)
+        assert b.recv(0, "t") == 1
+        assert b.recv(0, "t") == 2
+
+    def test_recv_by_source(self):
+        world = SimCommWorld(3)
+        world.comm(0).send(2, "t", "from0")
+        world.comm(1).send(2, "t", "from1")
+        c = world.comm(2)
+        assert c.recv(1, "t") == "from1"
+        assert c.recv(0, "t") == "from0"
+
+    def test_recv_missing_raises(self):
+        world = SimCommWorld(2)
+        with pytest.raises(RuntimeError):
+            world.comm(1).recv(0, "t")
+
+    def test_recv_all_drains(self):
+        world = SimCommWorld(3)
+        world.comm(0).send(2, "t", 10)
+        world.comm(1).send(2, "t", 11)
+        got = world.comm(2).recv_all("t")
+        assert sorted(got) == [(0, 10), (1, 11)]
+        assert world.comm(2).recv_all("t") == []
+
+    def test_tags_are_independent(self):
+        world = SimCommWorld(2)
+        world.comm(0).send(1, "a", 1)
+        world.comm(0).send(1, "b", 2)
+        assert world.comm(1).recv(0, "b") == 2
+        assert world.comm(1).recv(0, "a") == 1
+
+    def test_assert_drained(self):
+        world = SimCommWorld(2)
+        world.assert_drained()
+        world.comm(0).send(1, "t", 5)
+        with pytest.raises(RuntimeError):
+            world.assert_drained()
+
+    def test_bad_ranks_rejected(self):
+        world = SimCommWorld(2)
+        with pytest.raises(ValueError):
+            world.comm(5)
+        with pytest.raises(ValueError):
+            world.comm(0).send(7, "t", 1)
+        with pytest.raises(ValueError):
+            SimCommWorld(0)
+
+
+class TestAccounting:
+    def test_bytes_counted_for_arrays(self):
+        world = SimCommWorld(2)
+        payload = np.zeros(100, dtype=np.float64)
+        world.comm(0).send(1, "t", payload)
+        assert world.stats.bytes_sent == 800
+        assert world.stats.messages_sent == 1
+
+    def test_tuple_payload_bytes(self):
+        world = SimCommWorld(2)
+        world.comm(0).send(1, "t", (np.zeros(10, dtype=np.uint8), 3.0))
+        assert world.stats.bytes_sent == 18
+
+    def test_barrier_counted(self):
+        world = SimCommWorld(2)
+        world.comm(0).barrier()
+        world.comm(1).barrier()
+        assert world.stats.barriers == 2
+
+    def test_local_stats_per_rank(self):
+        world = SimCommWorld(2)
+        c0 = world.comm(0)
+        c0.send(1, "t", 1)
+        assert c0.local_stats.messages_sent == 1
+
+    def test_allreduce(self):
+        world = SimCommWorld(3)
+        assert allreduce_sum(world, [1.0, 2.0, 3.0]) == 6.0
+        assert world.stats.collectives == 1
+        with pytest.raises(ValueError):
+            allreduce_sum(world, [1.0])

@@ -1,0 +1,155 @@
+"""EAM potential: analytic derivatives, oracle consistency, alloy physics."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CU, FE, VACANCY
+from repro.lattice import LatticeState
+from repro.potentials import EAMPotential, counts_from_types
+
+
+def _total_lattice_energy(lattice, potential, shells):
+    ids = np.arange(lattice.n_sites)
+    half = lattice.half_coords(ids)
+    nb = lattice.ids_from_half(half[:, None, :] + shells.offsets[None, :, :])
+    counts = counts_from_types(
+        lattice.occupancy[nb], shells.shell_index, shells.n_shells
+    )
+    return potential.region_energy(lattice.occupancy[ids], counts)
+
+
+@pytest.fixture(scope="module")
+def structure():
+    rng = np.random.default_rng(3)
+    a = 2.87
+    pos = []
+    for i in range(2):
+        for j in range(4):
+            for k in range(4):
+                pos.append([i * a, j * a, k * a])
+                pos.append([(i + 0.5) * a, (j + 0.5) * a, (k + 0.5) * a])
+    pos = np.asarray(pos) + rng.normal(0, 0.04, (64, 3))
+    spec = rng.choice([FE, CU], size=64, p=[0.85, 0.15])
+    cell = np.array([2 * a, 4 * a, 4 * a])
+    return pos, spec, cell
+
+
+class TestRadialFunctions:
+    def test_cutoff_vanishes(self, eam_standard):
+        assert eam_standard.cutoff_fn(np.array([6.5, 7.0])).max() == 0.0
+
+    def test_cutoff_is_one_at_zero(self, eam_standard):
+        assert eam_standard.cutoff_fn(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_pair_phi_symmetric_in_species(self, eam_standard):
+        r = np.linspace(2.0, 6.0, 10)
+        assert np.allclose(
+            eam_standard.pair_phi(r, FE, CU), eam_standard.pair_phi(r, CU, FE)
+        )
+
+    def test_pair_phi_deriv_fd(self, eam_standard):
+        r = np.linspace(2.0, 6.0, 13)
+        h = 1e-6
+        fd = (eam_standard.pair_phi(r + h, FE, FE) - eam_standard.pair_phi(r - h, FE, FE)) / (2 * h)
+        assert np.allclose(fd, eam_standard.pair_phi_deriv(r, FE, FE), atol=1e-6)
+
+    def test_density_psi_deriv_fd(self, eam_standard):
+        r = np.linspace(2.0, 6.0, 13)
+        h = 1e-6
+        fd = (eam_standard.density_psi(r + h, CU) - eam_standard.density_psi(r - h, CU)) / (2 * h)
+        assert np.allclose(fd, eam_standard.density_psi_deriv(r, CU), atol=1e-6)
+
+    def test_embedding_negative(self, eam_standard):
+        rho = np.array([0.5, 1.0, 2.0])
+        assert np.all(eam_standard.embed_F(rho, np.zeros(3, dtype=int)) < 0)
+
+    def test_shells_beyond_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            EAMPotential(np.array([2.0, 7.0]))
+
+
+class TestOracle:
+    def test_forces_match_finite_differences(self, eam_standard, structure):
+        pos, spec, cell = structure
+        _, forces = eam_standard.energy_and_forces(pos, spec, cell)
+        h = 1e-5
+        rng = np.random.default_rng(0)
+        for idx in rng.choice(len(spec), size=4, replace=False):
+            for c in range(3):
+                p1, p2 = pos.copy(), pos.copy()
+                p1[idx, c] += h
+                p2[idx, c] -= h
+                e1, _ = eam_standard.energy_and_forces(p1, spec, cell)
+                e2, _ = eam_standard.energy_and_forces(p2, spec, cell)
+                assert -(e1 - e2) / (2 * h) == pytest.approx(forces[idx, c], abs=1e-6)
+
+    def test_forces_vanish_on_perfect_lattice(self, eam_standard):
+        lattice = LatticeState((4, 4, 4))
+        pos = lattice.positions(np.arange(lattice.n_sites)).astype(float)
+        _, forces = eam_standard.energy_and_forces(
+            pos, lattice.occupancy.astype(int), np.array([4 * lattice.a] * 3)
+        )
+        assert np.abs(forces).max() < 1e-10
+
+    def test_oracle_matches_counts_path_on_lattice(self, eam_standard, tet_standard):
+        lattice = LatticeState((4, 4, 4))
+        rng = np.random.default_rng(5)
+        lattice.occupancy[:] = np.where(rng.random(lattice.n_sites) < 0.1, CU, FE)
+        pos = lattice.positions(np.arange(lattice.n_sites)).astype(float)
+        e_oracle, _ = eam_standard.energy_and_forces(
+            pos, lattice.occupancy.astype(int), np.array([4 * lattice.a] * 3)
+        )
+        e_counts = _total_lattice_energy(lattice, eam_standard, tet_standard.shells)
+        assert e_oracle == pytest.approx(e_counts, abs=1e-9)
+
+    def test_energy_extensive(self, eam_standard):
+        small = LatticeState((3, 3, 3))
+        big = LatticeState((3, 3, 6))
+        for lat in (small, big):
+            lat.occupancy[:] = FE
+        pos_s = small.positions(np.arange(small.n_sites)).astype(float)
+        pos_b = big.positions(np.arange(big.n_sites)).astype(float)
+        e_s, _ = eam_standard.energy_and_forces(
+            pos_s, small.occupancy.astype(int), np.array([3 * small.a] * 3)
+        )
+        e_b, _ = eam_standard.energy_and_forces(
+            pos_b, big.occupancy.astype(int),
+            np.array([3 * big.a, 3 * big.a, 6 * big.a]),
+        )
+        assert 2 * e_s == pytest.approx(e_b, rel=1e-10)
+
+
+class TestAlloyPhysics:
+    def test_cu_clustering_is_favorable(self, eam_standard, tet_standard):
+        """The demixing driving force behind Fig. 14's precipitation."""
+        shells = tet_standard.shells
+        base = LatticeState((6, 6, 6))
+        base.occupancy[:] = FE
+        dispersed = base.copy()
+        for cell in [(0, 0, 0), (3, 0, 0), (0, 3, 0), (0, 0, 3),
+                     (3, 3, 0), (3, 0, 3), (0, 3, 3), (3, 3, 3)]:
+            dispersed.occupancy[dispersed.site_id(0, *cell)] = CU
+        clustered = base.copy()
+        for site in [(0, 0, 0, 0), (0, 1, 0, 0), (0, 0, 1, 0), (0, 1, 1, 0),
+                     (1, 0, 0, 0), (1, 1, 0, 0), (1, 0, 1, 0), (1, 1, 1, 0)]:
+            clustered.occupancy[clustered.site_id(*site)] = CU
+        e_disp = _total_lattice_energy(dispersed, eam_standard, shells)
+        e_clus = _total_lattice_energy(clustered, eam_standard, shells)
+        assert e_clus < e_disp
+
+    def test_vacancy_site_energy_is_zero(self, eam_small, tet_small):
+        counts = np.zeros((1, tet_small.n_shells, 2), dtype=np.float32)
+        counts[0, 0, 0] = 8
+        e = eam_small.energies_from_counts(np.array([VACANCY]), counts)
+        assert e[0] == 0.0
+
+    def test_counts_energy_monotone_in_coordination(self, eam_small, tet_small):
+        """Removing neighbours (toward a free atom) raises the energy."""
+        full = np.zeros((1, tet_small.n_shells, 2), dtype=np.float32)
+        full[0, 0, 0] = 8
+        full[0, 1, 0] = 6
+        fewer = full.copy()
+        fewer[0, 0, 0] = 4
+        e_full = eam_small.energies_from_counts(np.array([FE]), full)
+        e_fewer = eam_small.energies_from_counts(np.array([FE]), fewer)
+        assert e_full[0] < e_fewer[0]

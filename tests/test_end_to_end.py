@@ -1,0 +1,116 @@
+"""End-to-end pipeline: train -> simulate -> checkpoint -> restart -> analyse.
+
+One test that walks the full user journey through the public API, the way
+the README advertises it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EAMPotential,
+    FeatureTable,
+    LatticeState,
+    NNPotential,
+    OpenKMCEngine,
+    TensorKMCEngine,
+    TripleEncoding,
+)
+from repro.analysis import analyse_precipitation, warren_cowley
+from repro.constants import VACANCY
+from repro.io import (
+    load_checkpoint,
+    load_events,
+    load_lattice,
+    replay_events,
+    save_checkpoint,
+    save_events,
+    save_lattice,
+    write_xyz,
+)
+from repro.nnp import ElementNetworks, NNPTrainer, generate_structures
+from repro.parallel import SublatticeKMC
+
+
+@pytest.mark.parametrize("seed", [0])
+def test_full_pipeline(tmp_path, seed):
+    rcut = 2.87
+    tet = TripleEncoding(rcut=rcut)
+    oracle = EAMPotential(tet.shell_distances)
+
+    # 1. Train a (tiny) NNP against the oracle and persist it.
+    rng = np.random.default_rng(seed)
+    structures = generate_structures(oracle, rng, n_structures=14, cells=(2, 2, 2))
+    table = FeatureTable(tet.shell_distances)
+    nets = ElementNetworks((2 * table.n_dim, 12, 1), rng)
+    model = NNPotential(table, nets, rcut=rcut)
+    NNPTrainer(model, structures[:10]).train(rng, n_epochs=15, lr=3e-3)
+    model_path = str(tmp_path / "model.npz")
+    model.save(model_path)
+    model = NNPotential.load(model_path)
+
+    # 2. Serial simulation with the trained potential, recording events.
+    lattice = LatticeState((8, 8, 8))
+    lattice.randomize_alloy(np.random.default_rng(1), 0.05, 0.003)
+    engine = TensorKMCEngine(
+        lattice, model, tet, temperature=900.0, rng=np.random.default_rng(2)
+    )
+    engine.record_events = True
+    initial = lattice.copy()
+    engine.run(n_steps=25)
+
+    # 3. Event log round-trips and replays onto the final state.
+    events_path = str(tmp_path / "events.npz")
+    save_events(events_path, engine.events)
+    replayed = replay_events(initial, load_events(events_path))
+    assert np.array_equal(replayed.occupancy, lattice.occupancy)
+
+    # 4. Checkpoint, restart, and continue bit-exactly vs a straight run.
+    ck_path = str(tmp_path / "ck.npz")
+    save_checkpoint(ck_path, engine)
+    resumed = load_checkpoint(ck_path, model, tet=tet)
+    resumed.run(n_steps=25)
+    reference = TensorKMCEngine(
+        initial.copy(), model, tet, temperature=900.0,
+        rng=np.random.default_rng(2),
+    )
+    reference.run(n_steps=50)
+    assert np.array_equal(resumed.lattice.occupancy, reference.lattice.occupancy)
+    assert resumed.time == reference.time
+
+    # 5. The cached engine still agrees with the cache-all baseline.
+    fast = TensorKMCEngine(
+        initial.copy(), model, tet, temperature=900.0,
+        rng=np.random.default_rng(7),
+    )
+    slow = OpenKMCEngine(
+        initial.copy(), model, tet, temperature=900.0,
+        rng=np.random.default_rng(7), maintain_atom_arrays=False,
+    )
+    for _ in range(20):
+        assert fast.step().to_site == slow.step().to_site
+
+    # 6. Parallel run on the gathered state conserves everything.
+    big = LatticeState((16, 16, 16))
+    big.randomize_alloy(np.random.default_rng(3), 0.0134, 0.002)
+    before = big.species_counts().copy()
+    sim = SublatticeKMC(
+        big, model, tet, n_ranks=2, temperature=900.0, t_stop=2e-10, seed=4
+    )
+    sim.run(8)
+    gathered = sim.gather_global()
+    assert np.array_equal(gathered.species_counts(), before)
+
+    # 7. Analysis + IO of the final configuration.
+    stats = analyse_precipitation(resumed.lattice, resumed.time)
+    assert stats.isolated >= 0
+    alpha = warren_cowley(resumed.lattice, rcut=rcut)
+    assert set(alpha) <= {0, 1}
+    snap_path = str(tmp_path / "final.npz")
+    save_lattice(snap_path, resumed.lattice, time=resumed.time)
+    loaded, t = load_lattice(snap_path)
+    assert t == resumed.time
+    xyz_path = str(tmp_path / "final.xyz")
+    with open(xyz_path, "w") as fh:
+        n = write_xyz(fh, loaded, time=t, species_filter=[VACANCY])
+    assert n == int(np.sum(loaded.occupancy == VACANCY))

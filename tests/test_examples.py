@@ -1,0 +1,54 @@
+"""Every shipped example must run to completion (smallest workloads)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=420,
+    )
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "executed 2000 events" in result.stdout
+
+    def test_train_nnp_fast(self):
+        result = _run("train_nnp.py", "--fast")
+        assert result.returncode == 0, result.stderr
+        assert "test energies" in result.stdout
+        assert "KMC with the trained NNP" in result.stdout
+
+    def test_cu_precipitation(self):
+        result = _run("cu_precipitation.py", "--steps", "1200", "--box", "10")
+        assert result.returncode == 0, result.stderr
+        assert "cluster-size histogram" in result.stdout
+
+    def test_parallel_sublattice(self):
+        result = _run("parallel_sublattice.py", "--ranks", "2", "--cycles", "8")
+        assert result.returncode == 0, result.stderr
+        assert "species conserved OK" in result.stdout
+
+    def test_vacancy_diffusion(self):
+        result = _run("vacancy_diffusion.py")
+        assert result.returncode == 0, result.stderr
+        assert "void nucleation" in result.stdout
+
+    def test_ternary_alloy(self):
+        result = _run("ternary_alloy.py", "--steps", "1500", "--box", "10")
+        assert result.returncode == 0, result.stderr
+        assert "species conserved" in result.stdout
+
+    def test_aging_campaign(self):
+        result = _run("aging_campaign.py", "--steps", "1200")
+        assert result.returncode == 0, result.stderr
+        assert "Arrhenius acceleration" in result.stdout

@@ -1,0 +1,121 @@
+"""Ghost exchange: padded-box tests, image enumeration, update routing."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CU, FE
+from repro.lattice import DomainBox, LocalWindow
+from repro.parallel.comm import SimCommWorld
+from repro.parallel.decomposition import GridDecomposition
+from repro.parallel.ghost import (
+    GhostExchanger,
+    SiteUpdates,
+    in_padded_box,
+    window_images,
+)
+
+
+class TestInPaddedBox:
+    def test_inside(self):
+        box = DomainBox(lo=(2, 2, 2), hi=(6, 6, 6))
+        assert in_padded_box(np.array([[3, 3, 3]]), box, 1, (12, 12, 12))[0]
+        assert in_padded_box(np.array([[1, 3, 3]]), box, 1, (12, 12, 12))[0]
+
+    def test_outside(self):
+        box = DomainBox(lo=(2, 2, 2), hi=(6, 6, 6))
+        assert not in_padded_box(np.array([[8, 3, 3]]), box, 1, (12, 12, 12))[0]
+
+    def test_wraps(self):
+        box = DomainBox(lo=(0, 0, 0), hi=(4, 4, 4))
+        # cell 11 == -1 (mod 12): inside the ghost of a box at the origin.
+        assert in_padded_box(np.array([[11, 0, 0]]), box, 1, (12, 12, 12))[0]
+
+    def test_window_spanning_axis_sees_everything(self):
+        box = DomainBox(lo=(0, 0, 0), hi=(8, 4, 4))
+        # padded x-width 10 > global 8: every x qualifies.
+        cells = np.array([[x, 0, 0] for x in range(8)])
+        assert np.all(in_padded_box(cells, box, 1, (8, 12, 12)))
+
+
+class TestWindowImages:
+    def test_unique_image(self):
+        window = LocalWindow(DomainBox((2, 2, 2), (6, 6, 6)), (12, 12, 12), 2)
+        images = window_images(window, np.array([3, 3, 3]))
+        assert images.shape == (1, 3)
+
+    def test_no_image(self):
+        window = LocalWindow(DomainBox((2, 2, 2), (6, 6, 6)), (12, 12, 12), 1)
+        assert window_images(window, np.array([9, 9, 9])).shape == (0, 3)
+
+    def test_multiple_images_with_wrap(self):
+        # box spans the whole axis; padded width 8+2*2 = 12 > global 8.
+        window = LocalWindow(DomainBox((0, 0, 0), (8, 4, 4)), (8, 12, 12), 2)
+        images = window_images(window, np.array([1, 1, 1]))
+        # x=1 appears at padded x = 3 and x = 11 (image through the wrap).
+        assert images.shape[0] == 2
+        assert sorted(images[:, 0].tolist()) == [3, 11]
+
+
+class TestExchanger:
+    def _setup(self, grid=(2, 1, 1), shape=(12, 8, 8), ghost=2):
+        decomp = GridDecomposition(shape, grid)
+        world = SimCommWorld(decomp.n_ranks)
+        windows, exchangers = [], []
+        for r in range(decomp.n_ranks):
+            w = LocalWindow(decomp.box_of_rank(r), shape, ghost)
+            w.occupancy[:] = FE
+            windows.append(w)
+            exchangers.append(GhostExchanger(world.comm(r), decomp, w))
+        return decomp, world, windows, exchangers
+
+    def test_update_reaches_neighbor_ghost(self):
+        decomp, world, windows, exchangers = self._setup()
+        # rank 0 changes its cell (5, 3, 3) -> lies in rank 1's ghost.
+        updates = SiteUpdates(
+            np.array([0]), np.array([[5, 3, 3]]), np.array([CU])
+        )
+        s, cell = np.array([0]), np.array([[5, 3, 3]])
+        half = windows[0].half_coords(
+            s, windows[0].padded_cell_of_global(cell)
+        )
+        windows[0].set_species_at_half(half, CU)
+        for ex in exchangers:
+            ex.send_updates(updates if ex.comm.rank == 0 else SiteUpdates.empty())
+        for ex in exchangers:
+            ex.apply_updates()
+        world.assert_drained()
+        # rank 1's window must now see Cu at global cell (5, 3, 3).
+        images = window_images(windows[1], np.array([5, 3, 3]))
+        assert images.shape[0] >= 1
+        for img in images:
+            half1 = windows[1].half_coords(np.array([0]), img[None, :])
+            assert windows[1].species_at_half(half1)[0] == CU
+
+    def test_self_wrap_update(self):
+        """With one rank along an axis the rank updates its own ghost images."""
+        decomp, world, windows, exchangers = self._setup(
+            grid=(1, 1, 1), shape=(8, 8, 8), ghost=2
+        )
+        w, ex = windows[0], exchangers[0]
+        # change cell (0,0,0): its ghost images at the far side must update.
+        updates = SiteUpdates(np.array([0]), np.array([[0, 0, 0]]), np.array([CU]))
+        ex.send_updates(updates)
+        ex.apply_updates()
+        world.assert_drained()
+        images = window_images(w, np.array([0, 0, 0]))
+        assert images.shape[0] == 8  # corner cell: 2 images per axis
+        for img in images:
+            half = w.half_coords(np.array([0]), img[None, :])
+            assert w.species_at_half(half)[0] == CU
+
+    def test_empty_updates_flow(self):
+        decomp, world, windows, exchangers = self._setup()
+        for ex in exchangers:
+            ex.send_updates(SiteUpdates.empty())
+        for ex in exchangers:
+            assert ex.apply_updates().shape == (0, 3)
+        world.assert_drained()
+
+    def test_update_lengths_validated(self):
+        with pytest.raises(ValueError):
+            SiteUpdates(np.zeros(2), np.zeros((1, 3)), np.zeros(2))

@@ -1,0 +1,76 @@
+"""Property-based tests of the periodic ghost-image machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import DomainBox, LocalWindow
+from repro.parallel.ghost import in_padded_box, window_images
+
+dims = st.integers(min_value=4, max_value=14)
+ghost_widths = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def window_configs(draw):
+    gx = draw(dims)
+    gy = draw(dims)
+    gz = draw(dims)
+    lo = (
+        draw(st.integers(0, gx - 1)),
+        draw(st.integers(0, gy - 1)),
+        draw(st.integers(0, gz - 1)),
+    )
+    shape = (
+        draw(st.integers(1, gx - 0)),
+        draw(st.integers(1, gy - 0)),
+        draw(st.integers(1, gz - 0)),
+    )
+    hi = tuple(min(l + s, g) for l, s, g in zip(lo, shape, (gx, gy, gz)))
+    hi = tuple(max(h, l + 1) for l, h in zip(lo, hi))
+    ghost = draw(ghost_widths)
+    cell = (
+        draw(st.integers(0, gx - 1)),
+        draw(st.integers(0, gy - 1)),
+        draw(st.integers(0, gz - 1)),
+    )
+    return (gx, gy, gz), lo, hi, ghost, cell
+
+
+class TestWindowImages:
+    @given(cfg=window_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_images_are_exactly_the_matching_padded_cells(self, cfg):
+        """window_images == brute-force enumeration over all padded cells."""
+        global_shape, lo, hi, ghost, cell = cfg
+        window = LocalWindow(DomainBox(lo, hi), global_shape, ghost)
+        images = {tuple(r) for r in window_images(window, np.array(cell))}
+        brute = set()
+        px, py, pz = window.padded_shape
+        for i in range(px):
+            for j in range(py):
+                for k in range(pz):
+                    g = window.global_cell_of_padded(np.array([i, j, k]))
+                    if tuple(g) == tuple(np.mod(cell, global_shape)):
+                        brute.add((i, j, k))
+        assert images == brute
+
+    @given(cfg=window_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_in_padded_box_iff_images_exist(self, cfg):
+        global_shape, lo, hi, ghost, cell = cfg
+        window = LocalWindow(DomainBox(lo, hi), global_shape, ghost)
+        has_images = window_images(window, np.array(cell)).shape[0] > 0
+        claimed = bool(
+            in_padded_box(np.array([cell]), window.box, ghost, global_shape)[0]
+        )
+        assert has_images == claimed
+
+    @given(cfg=window_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_local_cells_always_have_an_image(self, cfg):
+        global_shape, lo, hi, ghost, _ = cfg
+        window = LocalWindow(DomainBox(lo, hi), global_shape, ghost)
+        # the box's own lowest cell is always inside the window
+        own = np.mod(np.array(lo), np.array(global_shape))
+        assert window_images(window, own).shape[0] >= 1

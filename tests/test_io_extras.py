@@ -1,0 +1,103 @@
+"""XYZ export and the portability mapping (paper Sec. 3.6)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.constants import CU, FE, PAPER_CHANNELS, VACANCY
+from repro.io.xyz import write_xyz, write_xyz_trajectory
+from repro.lattice import LatticeState
+from repro.sunway import (
+    FUGAKU_CMG,
+    compare_targets,
+    map_bigfusion,
+    sunway_target,
+)
+
+
+@pytest.fixture()
+def small_lattice():
+    lattice = LatticeState((3, 3, 3))
+    lattice.occupancy[0] = CU
+    lattice.occupancy[5] = VACANCY
+    return lattice
+
+
+class TestXYZ:
+    def test_full_snapshot(self, small_lattice):
+        buf = io.StringIO()
+        n = write_xyz(buf, small_lattice, time=1.5)
+        lines = buf.getvalue().splitlines()
+        assert n == 54
+        assert lines[0] == "54"
+        assert "Lattice=" in lines[1] and "Time=1.5" in lines[1]
+        assert len(lines) == 56
+
+    def test_species_filter(self, small_lattice):
+        buf = io.StringIO()
+        n = write_xyz(buf, small_lattice, species_filter=[CU, VACANCY])
+        assert n == 2
+        body = buf.getvalue().splitlines()[2:]
+        symbols = {line.split()[0] for line in body}
+        assert symbols == {"Cu", "X"}
+
+    def test_exclude_vacancies(self, small_lattice):
+        buf = io.StringIO()
+        n = write_xyz(buf, small_lattice, include_vacancies=False)
+        assert n == 53
+        assert "X" not in {l.split()[0] for l in buf.getvalue().splitlines()[2:]}
+
+    def test_positions_match_lattice(self, small_lattice):
+        buf = io.StringIO()
+        write_xyz(buf, small_lattice, species_filter=[CU])
+        line = buf.getvalue().splitlines()[2]
+        _, x, y, z = line.split()
+        pos = small_lattice.positions(np.array([0]))[0]
+        assert [float(x), float(y), float(z)] == pytest.approx(list(pos))
+
+    def test_trajectory(self, tmp_path, small_lattice):
+        path = str(tmp_path / "traj.xyz")
+        frames = write_xyz_trajectory(
+            path, [(small_lattice, 0.0), (small_lattice, 1.0)],
+            species_filter=[CU],
+        )
+        assert frames == 2
+        content = open(path).read().splitlines()
+        assert content.count("1") == 2  # two frames of one Cu atom
+
+
+class TestPortability:
+    def test_bigfusion_compute_bound_on_both_targets(self):
+        """Sec. 3.6: the data-centric design survives the port to Fugaku."""
+        mapped = compare_targets(PAPER_CHANNELS, 32 * 16 * 16)
+        assert set(mapped) == {"SW26010-pro CG", "Fugaku A64FX CMG"}
+        for m in mapped.values():
+            assert m.compute_bound
+            assert m.modeled_time > 0
+
+    def test_memory_traffic_is_target_independent(self):
+        m = 4096
+        sw = map_bigfusion(PAPER_CHANNELS, m, sunway_target())
+        fj = map_bigfusion(PAPER_CHANNELS, m, FUGAKU_CMG)
+        assert sw.mem_bytes == fj.mem_bytes  # first in + last out, always
+        assert sw.arithmetic_intensity == fj.arithmetic_intensity
+
+    def test_share_fabric_differs(self):
+        sw = sunway_target()
+        assert sw.share_bandwidth != FUGAKU_CMG.share_bandwidth
+        assert FUGAKU_CMG.n_cores == 12
+
+    def test_local_store_check(self):
+        from dataclasses import replace
+
+        tiny = replace(FUGAKU_CMG, local_store_bytes=1024)
+        with pytest.raises(ValueError):
+            map_bigfusion(PAPER_CHANNELS, 64, tiny)
+
+    def test_ridge_points(self):
+        # HBM2 makes the Fugaku CMG far less memory-starved than a CG.
+        assert FUGAKU_CMG.ridge_point < sunway_target().ridge_point
+
+    def test_fe_constant_unused_guard(self):
+        assert FE == 0  # anchors the XYZ symbol table

@@ -1,0 +1,230 @@
+"""OKMC comparator model: conservation, kinetics, physics."""
+
+import numpy as np
+import pytest
+
+from repro.constants import EA0_FE, KB_EV
+from repro.okmc import DefectObject, OKMCModel, OKMCParameters
+
+
+@pytest.fixture()
+def params():
+    return OKMCParameters(temperature=800.0)
+
+
+def _model(params, n=30, seed=0, box_cells=16):
+    return OKMCModel.random_monovacancies(
+        n, np.array([box_cells * 2.87] * 3), params, np.random.default_rng(seed)
+    )
+
+
+class TestParameters:
+    def test_monovacancy_rate_matches_akmc_barrier(self, params):
+        expected = params.attempt_frequency * np.exp(
+            -EA0_FE / (KB_EV * 800.0)
+        )
+        assert params.migration_rate(1) == pytest.approx(expected)
+
+    def test_larger_clusters_are_slower(self, params):
+        assert params.migration_rate(8) < params.migration_rate(2) < params.migration_rate(1)
+
+    def test_monovacancy_cannot_emit(self, params):
+        assert params.emission_rate(1) == 0.0
+        assert params.binding_energy(1) == 0.0
+
+    def test_binding_grows_with_size(self, params):
+        """Capillary law: bigger clusters bind vacancies more strongly."""
+        assert params.binding_energy(20) > params.binding_energy(3) > 0.0
+
+    def test_emission_slower_than_migration(self, params):
+        # emission carries the extra binding barrier
+        assert params.emission_rate(5) < params.migration_rate(1)
+
+    def test_capture_radius_grows_as_cube_root(self, params):
+        assert params.capture_radius(8) == pytest.approx(
+            2.0 * params.capture_radius(1)
+        )
+
+
+class TestConservation:
+    def test_vacancy_count_conserved(self, params):
+        model = _model(params, n=30, seed=1)
+        model.run(2000)
+        assert model.total_vacancies == 30
+
+    @pytest.mark.parametrize("seed", [2, 3, 4])
+    def test_conserved_across_seeds(self, params, seed):
+        model = _model(params, n=20, seed=seed)
+        model.run(800)
+        assert model.total_vacancies == 20
+
+    def test_positions_stay_in_box(self, params):
+        model = _model(params, n=15, seed=5)
+        model.run(1000)
+        for obj in model.objects:
+            assert np.all(obj.position >= 0.0)
+            assert np.all(obj.position < model.box)
+
+
+class TestKinetics:
+    def test_clustering_happens(self, params):
+        model = _model(params, n=40, seed=0)
+        model.run(3000)
+        assert model.n_coalescences > 0
+        assert model.cluster_sizes()[0] >= 4
+        assert len(model.objects) < 40
+
+    def test_time_advances(self, params):
+        model = _model(params, n=10, seed=6)
+        model.run(100)
+        assert model.time > 0.0
+        assert model.step_count == 100
+
+    def test_determinism(self, params):
+        sizes = []
+        for _ in range(2):
+            model = _model(params, n=25, seed=7)
+            model.run(1500)
+            sizes.append(model.cluster_sizes().tolist())
+        assert sizes[0] == sizes[1]
+
+    def test_frozen_when_empty(self, params):
+        model = OKMCModel(
+            box=np.array([10.0, 10.0, 10.0]), objects=[], params=params,
+            rng=np.random.default_rng(0),
+        )
+        assert model.step() is None
+
+    def test_single_object_diffusion_rate(self, params):
+        """A lone monovacancy's event rate equals its migration rate."""
+        model = OKMCModel(
+            box=np.array([100.0] * 3),
+            objects=[DefectObject(np.array([50.0] * 3), 1)],
+            params=params,
+            rng=np.random.default_rng(8),
+        )
+        n = 2000
+        model.run(n)
+        expected_time = n / params.migration_rate(1)
+        assert model.time == pytest.approx(expected_time, rel=0.1)
+
+    def test_history_recording(self, params):
+        model = _model(params, n=10, seed=9)
+        model.run(500, record_every=100)
+        assert len(model.history) == 5
+        assert all("max_size" in h for h in model.history)
+
+    def test_emission_shrinks_and_spawns(self, params):
+        """A large hot cluster emits monovacancies that stay free briefly."""
+        hot = OKMCParameters(temperature=1400.0)
+        model = OKMCModel(
+            box=np.array([200.0] * 3),
+            objects=[DefectObject(np.array([100.0] * 3), 30)],
+            params=hot,
+            rng=np.random.default_rng(10),
+        )
+        model.run(400)
+        assert model.n_emissions > 0
+        assert model.total_vacancies == 30
+
+
+class TestCrossMethod:
+    def test_okmc_and_akmc_agree_on_clustering_trend(
+        self, tet_small, eam_small
+    ):
+        """Both model classes show vacancy aggregation on the same workload."""
+        from repro.analysis import cluster_sizes, find_clusters
+        from repro.constants import VACANCY
+        from repro.core import TensorKMCEngine
+        from repro.lattice import LatticeState
+
+        # AKMC: 40 vacancies in a 16^3 box.
+        lattice = LatticeState((16, 16, 16))
+        rng = np.random.default_rng(0)
+        ids = rng.choice(lattice.n_sites, 40, replace=False)
+        lattice.occupancy[ids] = VACANCY
+        akmc = TensorKMCEngine(
+            lattice, eam_small, tet_small, temperature=800.0,
+            rng=np.random.default_rng(9),
+        )
+        akmc.run(n_steps=3000)
+        akmc_sizes = cluster_sizes(find_clusters(lattice, species=VACANCY))
+
+        # OKMC: same box, same vacancy count and temperature.
+        okmc = OKMCModel.random_monovacancies(
+            40, np.array([16 * 2.87] * 3),
+            OKMCParameters(temperature=800.0), np.random.default_rng(1),
+        )
+        okmc.run(3000)
+        okmc_sizes = okmc.cluster_sizes()
+
+        # Same qualitative outcome: aggregation into a few clusters.
+        assert akmc_sizes[0] >= 4 and okmc_sizes[0] >= 4
+        assert len(akmc_sizes) < 40 and len(okmc_sizes) < 40
+
+
+class TestEKMC:
+    """The event-KMC family (well-mixed encounter events)."""
+
+    def _ekmc(self, params, n=40, seed=0, box_cells=16):
+        from repro.okmc import EKMCModel
+
+        return EKMCModel(
+            sizes=[1] * n,
+            volume=(box_cells * 2.87) ** 3,
+            params=params,
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_vacancy_conservation(self, params):
+        model = self._ekmc(params, n=30, seed=1)
+        model.run(400)
+        assert model.total_vacancies == 30
+
+    def test_clustering_happens(self, params):
+        model = self._ekmc(params, n=40, seed=2)
+        model.run(300)
+        assert model.n_encounters > 0
+        assert model.cluster_sizes()[0] >= 3
+        assert len(model.sizes) < 40
+
+    def test_time_advances_and_deterministic(self, params):
+        results = []
+        for _ in range(2):
+            model = self._ekmc(params, n=20, seed=3)
+            model.run(150)
+            results.append((model.time, model.cluster_sizes().tolist()))
+        assert results[0] == results[1]
+        assert results[0][0] > 0.0
+
+    def test_encounter_rate_scaling(self, params):
+        """Smoluchowski: doubling the volume halves the encounter rate."""
+        small = self._ekmc(params, box_cells=10)
+        big = self._ekmc(params, box_cells=10)
+        big.volume = 2.0 * small.volume
+        assert big.encounter_rate(1, 1) == pytest.approx(
+            small.encounter_rate(1, 1) / 2.0
+        )
+
+    def test_diffusivity_matches_random_walk(self, params):
+        model = self._ekmc(params)
+        expected = params.migration_rate(1) * params.jump_length**2 / 6.0
+        assert model.diffusivity(1) == pytest.approx(expected)
+
+    def test_empty_model_frozen(self, params):
+        model = self._ekmc(params, n=0)
+        assert model.step() is None
+
+    def test_single_unclusterable_monovacancy(self, params):
+        model = self._ekmc(params, n=1)
+        # one monovacancy: no pair, no emission -> frozen
+        assert model.step() is None
+
+    def test_three_model_classes_agree_on_trend(self, params):
+        """AKMC (tested above), OKMC, EKMC all aggregate the workload."""
+        okmc = _model(params, n=40, seed=0)
+        okmc.run(2000)
+        ekmc = self._ekmc(params, n=40, seed=0)
+        ekmc.run(300)
+        assert okmc.cluster_sizes()[0] >= 4
+        assert ekmc.cluster_sizes()[0] >= 4

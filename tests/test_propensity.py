@@ -1,0 +1,155 @@
+"""Propensity stores: linear scan vs Fenwick tree equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.propensity import FenwickPropensity, LinearPropensity
+
+values_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=64,
+)
+
+
+def _filled(cls, values):
+    store = cls(len(values))
+    for i, v in enumerate(values):
+        store.update(i, v)
+    return store
+
+
+class TestBasics:
+    @pytest.mark.parametrize("cls", [LinearPropensity, FenwickPropensity])
+    def test_total(self, cls):
+        store = _filled(cls, [1.0, 2.0, 3.0])
+        assert store.total == pytest.approx(6.0)
+
+    @pytest.mark.parametrize("cls", [LinearPropensity, FenwickPropensity])
+    def test_get_after_update(self, cls):
+        store = _filled(cls, [1.0, 2.0, 3.0])
+        store.update(1, 5.0)
+        assert store.get(1) == 5.0
+        assert store.total == pytest.approx(9.0)
+
+    @pytest.mark.parametrize("cls", [LinearPropensity, FenwickPropensity])
+    def test_negative_rejected(self, cls):
+        store = cls(3)
+        with pytest.raises(ValueError):
+            store.update(0, -1.0)
+
+    @pytest.mark.parametrize("cls", [LinearPropensity, FenwickPropensity])
+    def test_select_bounds_checked(self, cls):
+        store = _filled(cls, [1.0, 1.0])
+        with pytest.raises(ValueError):
+            store.select(2.5)
+        with pytest.raises(ValueError):
+            store.select(-0.1)
+
+    @pytest.mark.parametrize("cls", [LinearPropensity, FenwickPropensity])
+    def test_select_simple(self, cls):
+        store = _filled(cls, [1.0, 2.0, 3.0])
+        slot, rem = store.select(0.5)
+        assert slot == 0 and rem == pytest.approx(0.5)
+        slot, rem = store.select(1.5)
+        assert slot == 1 and rem == pytest.approx(0.5)
+        slot, rem = store.select(5.9)
+        assert slot == 2 and rem == pytest.approx(2.9)
+
+    @pytest.mark.parametrize("cls", [LinearPropensity, FenwickPropensity])
+    def test_select_skips_zero_slots(self, cls):
+        store = _filled(cls, [0.0, 2.0, 0.0, 1.0])
+        slot, _ = store.select(0.0)
+        assert slot == 1
+        slot, _ = store.select(2.5)
+        assert slot == 3
+
+    def test_fenwick_resize(self):
+        store = FenwickPropensity(3)
+        store.update(2, 4.0)
+        store.resize(5)
+        assert store.total == 0.0
+        store.update(4, 1.0)
+        assert store.select(0.5)[0] == 4
+
+
+class TestEquivalence:
+    @given(values=values_strategy, fractions=st.lists(
+        st.floats(min_value=0.0, max_value=0.999999), min_size=1, max_size=8))
+    @settings(max_examples=80, deadline=None)
+    def test_tree_matches_linear(self, values, fractions):
+        total = sum(values)
+        if total <= 0:
+            return
+        lin = _filled(LinearPropensity, values)
+        fen = _filled(FenwickPropensity, values)
+        assert fen.total == pytest.approx(lin.total, rel=1e-12)
+        for f in fractions:
+            u = f * min(lin.total, fen.total)
+            if not u < min(lin.total, fen.total):  # denormal rounding edge
+                continue
+            slot_l, rem_l = lin.select(u)
+            slot_f, rem_f = fen.select(u)
+            assert slot_l == slot_f
+            assert rem_l == pytest.approx(rem_f, abs=1e-6 * max(total, 1.0))
+
+    @given(values=values_strategy, updates=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=63),
+                  st.floats(min_value=0.0, max_value=1e6)),
+        max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_totals_track_under_updates(self, values, updates):
+        lin = _filled(LinearPropensity, values)
+        fen = _filled(FenwickPropensity, values)
+        for slot, v in updates:
+            if slot < len(values):
+                lin.update(slot, v)
+                fen.update(slot, v)
+        assert fen.total == pytest.approx(lin.total, rel=1e-9, abs=1e-9)
+
+    def test_statistical_selection_distribution(self):
+        """Selections land proportionally to the weights."""
+        rng = np.random.default_rng(0)
+        weights = np.array([1.0, 0.0, 3.0, 6.0])
+        fen = _filled(FenwickPropensity, list(weights))
+        hits = np.zeros(4)
+        for _ in range(4000):
+            slot, _ = fen.select(rng.random() * fen.total)
+            hits[slot] += 1
+        freq = hits / hits.sum()
+        assert np.allclose(freq, weights / weights.sum(), atol=0.03)
+
+
+class TestHistoryIndependence:
+    """The tree must be a pure function of the values (checkpoint-exactness)."""
+
+    @given(
+        values=values_strategy,
+        updates=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=63),
+                      st.floats(min_value=0.0, max_value=1e6)),
+            max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rebuilt_tree_matches_updated_tree(self, values, updates):
+        incremental = _filled(FenwickPropensity, values)
+        for slot, v in updates:
+            if slot < len(values):
+                incremental.update(slot, v)
+        rebuilt = FenwickPropensity(len(values))
+        for i, v in enumerate(incremental.values):
+            rebuilt.update(i, float(v))
+        assert np.array_equal(incremental.tree, rebuilt.tree)
+        assert incremental.total == rebuilt.total
+
+    def test_update_order_does_not_matter(self):
+        a = FenwickPropensity(5)
+        b = FenwickPropensity(5)
+        vals = [0.1, 0.2, 0.3, 0.4, 0.5]
+        for i in range(5):
+            a.update(i, vals[i])
+        for i in reversed(range(5)):
+            b.update(i, vals[i])
+        assert np.array_equal(a.tree, b.tree)

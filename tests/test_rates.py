@@ -1,0 +1,107 @@
+"""Rate law (Eqs. 1-3) and residence-time algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import ATTEMPT_FREQUENCY, CU, EA0_CU, EA0_FE, FE, KB_EV
+from repro.core.rates import RateModel, residence_time
+from repro.core.vacancy_system import StateEnergies
+
+
+def _energies(delta, valid=None, species=None):
+    delta = np.asarray(delta, dtype=np.float64)
+    valid = np.ones(8, dtype=bool) if valid is None else np.asarray(valid)
+    species = (
+        np.full(8, FE, dtype=np.int64) if species is None else np.asarray(species)
+    )
+    return StateEnergies(
+        initial=0.0, delta=delta, valid=valid, migrating_species=species
+    )
+
+
+class TestRateModel:
+    def test_zero_delta_gives_reference_barrier(self):
+        model = RateModel(573.0)
+        rates = model.rates(_energies(np.zeros(8)))
+        expected = ATTEMPT_FREQUENCY * np.exp(-EA0_FE / (KB_EV * 573.0))
+        assert np.allclose(rates, expected)
+
+    def test_cu_migrates_faster_than_fe(self):
+        """E_a^0(Cu) = 0.56 < E_a^0(Fe) = 0.65 -> higher rate."""
+        model = RateModel(573.0)
+        fe = model.rates(_energies(np.zeros(8)))[0]
+        cu = model.rates(_energies(np.zeros(8), species=np.full(8, CU)))[0]
+        assert cu > fe
+        assert cu / fe == pytest.approx(
+            np.exp((EA0_FE - EA0_CU) / (KB_EV * 573.0))
+        )
+
+    def test_downhill_hops_faster(self):
+        model = RateModel(573.0)
+        downhill = model.rates(_energies(np.full(8, -0.2)))[0]
+        uphill = model.rates(_energies(np.full(8, 0.2)))[0]
+        assert downhill > uphill
+
+    def test_half_delta_in_barrier(self):
+        model = RateModel(573.0)
+        ea = model.migration_energies(_energies(np.full(8, 0.3)))
+        assert np.allclose(ea, EA0_FE + 0.15)
+
+    def test_invalid_hops_zero_rate(self):
+        model = RateModel(573.0)
+        valid = np.array([True] * 4 + [False] * 4)
+        rates = model.rates(_energies(np.zeros(8), valid=valid))
+        assert np.all(rates[:4] > 0) and np.all(rates[4:] == 0)
+
+    @given(t1=st.floats(min_value=300, max_value=800),
+           t2=st.floats(min_value=810, max_value=2000))
+    @settings(max_examples=20, deadline=None)
+    def test_rates_increase_with_temperature(self, t1, t2):
+        e = _energies(np.zeros(8))
+        assert RateModel(t2).rates(e)[0] > RateModel(t1).rates(e)[0]
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            RateModel(0.0)
+
+    def test_detailed_balance_ratio(self):
+        """Forward/backward rates satisfy exp(-dE/kT) with Eq. 2's 1/2 rule."""
+        model = RateModel(600.0)
+        de = 0.12
+        fwd = model.rates(_energies(np.full(8, de)))[0]
+        bwd = model.rates(_energies(np.full(8, -de)))[0]
+        assert fwd / bwd == pytest.approx(np.exp(-de / (KB_EV * 600.0)))
+
+
+class TestResidenceTime:
+    def test_deterministic_value(self):
+        assert residence_time(2.0, np.exp(-1.0)) == pytest.approx(0.5)
+
+    def test_u_one_gives_zero(self):
+        assert residence_time(5.0, 1.0) == 0.0
+
+    @given(
+        rate=st.floats(min_value=1e-3, max_value=1e15),
+        u=st.floats(min_value=1e-12, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_positive_and_scales_inversely(self, rate, u):
+        dt = residence_time(rate, u)
+        assert dt >= 0.0
+        assert residence_time(rate * 2, u) == pytest.approx(dt / 2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            residence_time(0.0, 0.5)
+        with pytest.raises(ValueError):
+            residence_time(1.0, 0.0)
+        with pytest.raises(ValueError):
+            residence_time(1.0, 1.5)
+
+    def test_mean_matches_inverse_rate(self):
+        rng = np.random.default_rng(0)
+        total = 3.0e5
+        samples = [residence_time(total, 1.0 - rng.random()) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(1.0 / total, rel=0.05)

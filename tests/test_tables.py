@@ -1,0 +1,75 @@
+"""Descriptor tables: the paper's (p, q) grid and Eq. 5/6 consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.potentials.tables import FeatureTable, make_pq_grid
+
+
+class TestPQGrid:
+    def test_paper_grid_shape(self):
+        pq = make_pq_grid()
+        assert pq.shape == (32, 2)
+
+    def test_paper_grid_endpoints(self):
+        pq = make_pq_grid()
+        assert pq[0, 0] == pytest.approx(4.2)
+        assert pq[-1, 0] == pytest.approx(1.1)  # 4.2 - 31*0.1
+        assert pq[0, 1] == pytest.approx(1.85)
+        assert pq[-1, 1] == pytest.approx(3.4)  # 1.85 + 31*0.05
+
+    def test_grid_monotone(self):
+        pq = make_pq_grid()
+        assert np.all(np.diff(pq[:, 0]) < 0)
+        assert np.all(np.diff(pq[:, 1]) > 0)
+
+    def test_too_many_sets_rejected(self):
+        with pytest.raises(ValueError):
+            make_pq_grid(100)  # p would go negative
+
+
+class TestFeatureTable:
+    def test_table_matches_continuous_at_shells(self, tet_small):
+        table = FeatureTable(tet_small.shell_distances, dtype=np.float64)
+        cont = table.continuous_term(tet_small.shell_distances)
+        assert np.allclose(table.table, cont, rtol=1e-12)
+
+    def test_features_from_counts_layout(self, tet_small):
+        table = FeatureTable(tet_small.shell_distances)
+        counts = np.zeros((1, table.n_shells, 2), dtype=np.float32)
+        counts[0, 0, 1] = 3.0  # three Cu in shell 0
+        feats = table.features_from_counts(counts)
+        n_dim = table.n_dim
+        assert feats.shape == (1, 2 * n_dim)
+        assert np.allclose(feats[0, :n_dim], 0.0)  # Fe block empty
+        assert np.allclose(feats[0, n_dim:], 3.0 * table.table[0], rtol=1e-6)
+
+    def test_features_linear_in_counts(self, tet_small):
+        table = FeatureTable(tet_small.shell_distances)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, (4, table.n_shells, 2)).astype(np.float32)
+        b = rng.integers(0, 5, (4, table.n_shells, 2)).astype(np.float32)
+        fa = table.features_from_counts(a)
+        fb = table.features_from_counts(b)
+        fab = table.features_from_counts(a + b)
+        assert np.allclose(fab, fa + fb, atol=1e-5)
+
+    @given(r=st.floats(min_value=1.5, max_value=6.4))
+    @settings(max_examples=30, deadline=None)
+    def test_continuous_term_deriv_fd(self, r):
+        table = FeatureTable(np.array([2.5, 2.9]))
+        h = 1e-6
+        fd = (table.continuous_term(r + h) - table.continuous_term(r - h)) / (2 * h)
+        assert np.allclose(fd, table.continuous_term_deriv(r), atol=1e-5)
+
+    def test_terms_decay_with_distance(self):
+        table = FeatureTable(np.array([2.5]))
+        near = table.continuous_term(2.0)
+        far = table.continuous_term(6.0)
+        assert np.all(near > far)
+
+    def test_bad_pq_shape_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureTable(np.array([2.5]), pq=np.zeros((3, 3)))

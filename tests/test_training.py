@@ -1,0 +1,259 @@
+"""NNP training: dataset generation, convergence, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CU, FE
+from repro.nnp import (
+    Adam,
+    ElementNetworks,
+    NNPotential,
+    NNPTrainer,
+    generate_structures,
+    parity_report,
+    train_test_split,
+)
+from repro.nnp.metrics import mae, r2_score, rmse
+from repro.potentials import EAMPotential, FeatureTable
+
+
+@pytest.fixture(scope="module")
+def small_dataset(tet_small):
+    oracle = EAMPotential(tet_small.shell_distances)
+    rng = np.random.default_rng(9)
+    return generate_structures(oracle, rng, n_structures=36, cells=(2, 2, 2))
+
+
+class TestDataset:
+    def test_sizes_in_paper_range(self, small_dataset):
+        # 2x2x2 cells = 16 sites minus up to 4 vacancies.
+        for s in small_dataset:
+            assert 12 <= s.n_atoms <= 16
+
+    def test_paper_default_sizes(self, tet_small):
+        oracle = EAMPotential(tet_small.shell_distances)
+        structs = generate_structures(
+            oracle, np.random.default_rng(0), n_structures=5
+        )
+        for s in structs:
+            assert 60 <= s.n_atoms <= 64  # paper Sec. 4.1.1
+
+    def test_labels_are_consistent_with_oracle(self, small_dataset, tet_small):
+        oracle = EAMPotential(tet_small.shell_distances)
+        s = small_dataset[0]
+        e, f = oracle.energy_and_forces(s.positions, s.species, s.cell)
+        assert e == pytest.approx(s.energy)
+        assert np.allclose(f, s.forces)
+
+    def test_species_are_fe_cu(self, small_dataset):
+        for s in small_dataset:
+            assert set(np.unique(s.species)) <= {FE, CU}
+
+    def test_split(self, small_dataset):
+        train, test = train_test_split(small_dataset, np.random.default_rng(1), 30)
+        assert len(train) == 30 and len(test) == 6
+        with pytest.raises(ValueError):
+            train_test_split(small_dataset, np.random.default_rng(1), 36)
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert mae(x, x) == 0.0
+        assert rmse(x, x) == 0.0
+        assert r2_score(x, x) == 1.0
+
+    def test_r2_of_mean_predictor_is_zero(self):
+        ref = np.array([1.0, 2.0, 3.0, 4.0])
+        pred = np.full(4, ref.mean())
+        assert r2_score(pred, ref) == pytest.approx(0.0)
+
+    def test_parity_report_keys(self):
+        rep = parity_report(np.ones(3), np.ones(3))
+        assert set(rep) == {"mae", "rmse", "r2"}
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        x = np.array([5.0, -3.0])
+        opt = Adam([x], lr=0.1)
+        for _ in range(300):
+            opt.step([2.0 * x])
+        assert np.allclose(x, 0.0, atol=1e-3)
+
+    def test_grad_length_checked(self):
+        opt = Adam([np.zeros(2)])
+        with pytest.raises(ValueError):
+            opt.step([])
+
+
+class TestTraining:
+    def test_loss_decreases_and_fits(self, tet_small, small_dataset):
+        train, test = train_test_split(small_dataset, np.random.default_rng(2), 30)
+        table = FeatureTable(tet_small.shell_distances)
+        rng = np.random.default_rng(3)
+        nets = ElementNetworks((2 * table.n_dim, 24, 1), rng)
+        model = NNPotential(table, nets, rcut=tet_small.rcut)
+        trainer = NNPTrainer(model, train)
+        history = trainer.train(rng, n_epochs=80, lr=3e-3)
+        assert history.epoch_loss[-1] < history.epoch_loss[0]
+        ev = trainer.evaluate_energies(test)
+        rep = parity_report(ev["predicted"], ev["reference"])
+        assert rep["r2"] > 0.9
+        assert rep["mae"] < 0.05  # eV/atom on the tiny smoke net
+
+    def test_empty_training_set_rejected(self, tet_small):
+        table = FeatureTable(tet_small.shell_distances)
+        nets = ElementNetworks((2 * table.n_dim, 8, 1), np.random.default_rng(0))
+        model = NNPotential(table, nets, rcut=tet_small.rcut)
+        with pytest.raises(ValueError):
+            NNPTrainer(model, [])
+
+    def test_save_load_roundtrip(self, tmp_path, tet_small, small_dataset):
+        table = FeatureTable(tet_small.shell_distances)
+        rng = np.random.default_rng(4)
+        nets = ElementNetworks((2 * table.n_dim, 12, 1), rng)
+        model = NNPotential(table, nets, rcut=tet_small.rcut)
+        trainer = NNPTrainer(model, small_dataset[:10])
+        trainer.train(rng, n_epochs=5)
+        path = str(tmp_path / "model.npz")
+        model.save(path)
+        loaded = NNPotential.load(path)
+        s = small_dataset[0]
+        assert loaded.structure_energy(s) == pytest.approx(
+            model.structure_energy(s), rel=1e-6
+        )
+        counts = np.ones((3, tet_small.n_shells, 2), dtype=np.float32)
+        types = np.array([FE, CU, FE])
+        assert np.allclose(
+            loaded.energies_from_counts(types, counts),
+            model.energies_from_counts(types, counts),
+        )
+
+    def test_network_width_validated(self, tet_small):
+        table = FeatureTable(tet_small.shell_distances)
+        nets = ElementNetworks((7, 8, 1), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            NNPotential(table, nets, rcut=tet_small.rcut)
+
+    def test_reference_energies_capture_composition(self, tet_small, small_dataset):
+        """After _prepare, the composition model alone explains most energy."""
+        table = FeatureTable(tet_small.shell_distances)
+        nets = ElementNetworks((2 * table.n_dim, 8, 1), np.random.default_rng(5))
+        model = NNPotential(table, nets, rcut=tet_small.rcut)
+        trainer = NNPTrainer(model, small_dataset)
+        per_atom_residual = trainer.residual_targets / trainer.n_atoms_per_struct
+        per_atom_total = trainer.energies / trainer.n_atoms_per_struct
+        assert np.std(per_atom_residual) < np.std(per_atom_total)
+
+
+class TestForceTraining:
+    """The double-backprop force loss (exact for ReLU networks)."""
+
+    def test_force_param_gradients_match_fd(self):
+        from repro.nnp.network import AtomicNetwork
+
+        rng = np.random.default_rng(0)
+        net = AtomicNetwork((5, 7, 6, 1), rng, dtype=np.float64)
+        x = rng.standard_normal((9, 5))
+        v = rng.standard_normal((9, 5))
+
+        def S():
+            return float(np.sum(net.input_gradient(x) * v))
+
+        _, cache = net.forward_cached(x)
+        grads = net.force_param_gradients(cache, v)
+        h = 1e-6
+        for layer in range(net.n_layers):
+            w = net.weights[layer]
+            idx = (0, 0)
+            w[idx] += h
+            up = S()
+            w[idx] -= 2 * h
+            down = S()
+            w[idx] += h
+            assert (up - down) / (2 * h) == pytest.approx(
+                grads[2 * layer][idx], rel=1e-5, abs=1e-8
+            )
+            # bias gradients of the input-gradient functional vanish a.e.
+            assert np.all(grads[2 * layer + 1] == 0.0)
+
+    def test_forces_vjp_is_adjoint_of_forces(self, tet_small):
+        """<R, F(dE)> == <VJP(R), dE> for random directions."""
+        from repro.nnp.descriptors import (
+            build_pair_list,
+            structure_forces,
+            structure_forces_vjp,
+        )
+
+        oracle = EAMPotential(tet_small.shell_distances)
+        rng = np.random.default_rng(5)
+        s = generate_structures(oracle, rng, n_structures=1, cells=(2, 2, 2))[0]
+        table = FeatureTable(tet_small.shell_distances)
+        pairs = build_pair_list(s.positions, s.cell, tet_small.rcut)
+        n_feat = 2 * table.n_dim
+        dE = rng.standard_normal((s.n_atoms, n_feat))
+        R = rng.standard_normal((s.n_atoms, 3))
+        F = structure_forces(s.species, pairs, table, dE)
+        V = structure_forces_vjp(s.species, pairs, table, R)
+        assert float(np.sum(R * F)) == pytest.approx(
+            float(np.sum(V * dE)), rel=1e-10
+        )
+
+    def test_end_to_end_gradient_matches_fd(self, tet_small, small_dataset):
+        """Total (energy + force) batch gradient vs finite differences."""
+        table = FeatureTable(tet_small.shell_distances)
+        nets = ElementNetworks(
+            (2 * table.n_dim, 6, 1), np.random.default_rng(2), dtype=np.float64
+        )
+        model = NNPotential(table, nets, rcut=tet_small.rcut)
+        structs = small_dataset[:3]
+        trainer = NNPTrainer(model, structs)
+        w_f = 0.7
+
+        def total_loss():
+            scale = model.energy_scale
+            l_e = 0.0
+            for s in structs:
+                l_e += ((model.structure_energy(s) - s.energy) / s.n_atoms / scale) ** 2
+            l_e /= len(structs)
+            sq, ncomp = 0.0, 0
+            for s in structs:
+                _, f = model.structure_energy_and_forces(s)
+                d = f - s.forces
+                sq += float(np.sum(d * d))
+                ncomp += 3 * s.n_atoms
+            return l_e + w_f * sq / ncomp
+
+        class Capture:
+            def step(self, grads):
+                self.grads = [np.array(g, dtype=np.float64) for g in grads]
+
+        cap = Capture()
+        trainer._batch_step(np.arange(3), cap, force_weight=w_f)
+        h = 1e-6
+        net = model.networks.nets[0]
+        w = net.weights[0]
+        w[0, 0] += h
+        up = total_loss()
+        w[0, 0] -= 2 * h
+        down = total_loss()
+        w[0, 0] += h
+        assert (up - down) / (2 * h) == pytest.approx(
+            cap.grads[0][0, 0], rel=1e-4, abs=1e-8
+        )
+
+    def test_force_training_improves_force_mae(self, tet_small, small_dataset):
+        train = small_dataset[:28]
+        test = small_dataset[28:]
+        results = {}
+        for w_f in (0.0, 1.0):
+            rng = np.random.default_rng(4)
+            table = FeatureTable(tet_small.shell_distances)
+            nets = ElementNetworks((2 * table.n_dim, 16, 1), rng)
+            model = NNPotential(table, nets, rcut=tet_small.rcut)
+            trainer = NNPTrainer(model, train)
+            trainer.train(rng, n_epochs=50, lr=3e-3, force_weight=w_f)
+            fv = trainer.evaluate_forces(test)
+            results[w_f] = mae(fv["predicted"], fv["reference"])
+        assert results[1.0] < results[0.0]

@@ -1,0 +1,113 @@
+"""Vacancy cache: invalidation semantics and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.vacancy_cache import CachedVacancySystem, VacancyCache
+from repro.core.vacancy_system import StateEnergies
+from repro.lattice import LatticeState
+
+
+def _entry(site):
+    return CachedVacancySystem(
+        site=site,
+        vet_ids=np.arange(10, dtype=np.int64),
+        vet=np.zeros(10, dtype=np.uint8),
+        energies=StateEnergies(
+            initial=0.0,
+            delta=np.zeros(8),
+            valid=np.ones(8, dtype=bool),
+            migrating_species=np.zeros(8, dtype=np.uint8),
+        ),
+        rates=np.ones(8),
+    )
+
+
+@pytest.fixture()
+def lattice():
+    return LatticeState((10, 10, 10))
+
+
+class TestBasics:
+    def test_slots_follow_input_order(self):
+        cache = VacancyCache([5, 2, 9])
+        assert [cache.slot_site(i) for i in range(3)] == [5, 2, 9]
+
+    def test_total_rate(self):
+        e = _entry(3)
+        assert e.total_rate == 8.0
+
+    def test_move_invalidates(self):
+        cache = VacancyCache([5])
+        cache.store(0, _entry(5))
+        cache.move(0, 7)
+        assert cache.slot_site(0) == 7
+        assert cache.get(0) is None
+
+    def test_stale_slots(self):
+        cache = VacancyCache([1, 2, 3])
+        cache.store(1, _entry(2))
+        assert cache.stale_slots() == [0, 2]
+
+    def test_invalidate_all(self):
+        cache = VacancyCache([1, 2])
+        cache.store(0, _entry(1))
+        cache.store(1, _entry(2))
+        cache.invalidate_all()
+        assert cache.stale_slots() == [0, 1]
+        assert cache.stats.invalidations == 2
+
+
+class TestDistanceInvalidation:
+    def test_nearby_change_invalidates(self, lattice):
+        center = lattice.site_id(0, 5, 5, 5)
+        near = lattice.site_id(0, 5, 5, 6)  # one cell away (= a)
+        cache = VacancyCache([center])
+        cache.store(0, _entry(center))
+        cache.invalidate_near([near], lattice, radius=lattice.a + 0.1)
+        assert cache.get(0) is None
+
+    def test_far_change_preserved(self, lattice):
+        center = lattice.site_id(0, 5, 5, 5)
+        far = lattice.site_id(0, 0, 0, 0)
+        cache = VacancyCache([center])
+        cache.store(0, _entry(center))
+        cache.invalidate_near([far], lattice, radius=lattice.a)
+        assert cache.get(0) is not None
+
+    def test_periodic_distance_used(self, lattice):
+        """A change across the periodic boundary still invalidates."""
+        center = lattice.site_id(0, 0, 0, 0)
+        wrapped = lattice.site_id(0, 9, 0, 0)  # distance a through the wrap
+        cache = VacancyCache([center])
+        cache.store(0, _entry(center))
+        cache.invalidate_near([wrapped], lattice, radius=lattice.a + 0.1)
+        assert cache.get(0) is None
+
+    def test_empty_changes_noop(self, lattice):
+        cache = VacancyCache([0])
+        cache.store(0, _entry(0))
+        cache.invalidate_near([], lattice, radius=10.0)
+        assert cache.get(0) is not None
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = VacancyCache([0, 1])
+        cache.store(0, _entry(0))
+        cache.mark_reused(0)
+        cache.mark_reused(0)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_memory_bytes_counts_live_entries(self):
+        cache = VacancyCache([0, 1])
+        assert cache.memory_bytes() == 0
+        cache.store(0, _entry(0))
+        one = cache.memory_bytes()
+        cache.store(1, _entry(1))
+        assert cache.memory_bytes() == 2 * one
+
+    def test_summary_keys(self):
+        cache = VacancyCache([0])
+        summary = cache.summary()
+        assert {"n_slots", "live_entries", "hit_rate", "memory_bytes"} <= set(summary)
