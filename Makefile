@@ -1,6 +1,6 @@
 # Convenience targets for the TensorKMC reproduction.
 
-.PHONY: install test bench examples snapshot
+.PHONY: install test bench bench-smoke check examples snapshot
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,16 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast kernel regression check: times 500 parallel events at two box sizes
+# and writes BENCH_kernel.json (fails if per-event cost scales with N).
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_kernel_smoke.py
+
+# What CI runs: tier-1 tests + the kernel smoke benchmark.
+check:
+	PYTHONPATH=src python -m pytest -x -q
+	$(MAKE) bench-smoke
 
 examples:
 	python examples/quickstart.py

@@ -47,7 +47,7 @@ def main() -> None:
 
     print(f"executed {engine.step_count} events")
     print(f"simulated time: {engine.time:.3e} s")
-    print(f"cache: {engine.cache.summary()}")
+    print(f"kernel: {engine.summary()}")
     print(f"isolated Cu: {before.isolated} -> {after.isolated}")
     print(f"largest Cu cluster: {before.max_size} -> {after.max_size}")
 

@@ -1,6 +1,7 @@
 """TensorKMC core: triple-encoding, vacancy cache, rates, and the engine."""
 
 from .engine import KMCEvent, NoMovesError, SerialAKMCBase, TensorKMCEngine
+from .kernel import EventKernel, KernelStats, SimpleRateEntry, SpatialHashIndex
 from .propensity import FenwickPropensity, LinearPropensity, PropensityStore
 from .rates import RateModel, residence_time
 from .tet import TripleEncoding
@@ -12,6 +13,10 @@ __all__ = [
     "NoMovesError",
     "SerialAKMCBase",
     "TensorKMCEngine",
+    "EventKernel",
+    "KernelStats",
+    "SimpleRateEntry",
+    "SpatialHashIndex",
     "FenwickPropensity",
     "LinearPropensity",
     "PropensityStore",

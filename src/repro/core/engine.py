@@ -7,29 +7,33 @@ through :class:`SerialAKMCBase` but rebuilds every vacancy system on every
 step ("cache all" semantics, which for rates means no reuse at all) — with the
 same seed the two produce bit-identical trajectories, which is exactly the
 validation of Fig. 8.
+
+Both engines are thin drivers over the shared
+:class:`~repro.core.kernel.EventKernel`, which owns the rate cache, the
+two-level propensity selection and the spatial-hash invalidation index; the
+parallel :class:`~repro.parallel.engine.RankState` sits on the very same
+kernel.  The engine keeps only the physics callbacks (vacancy-system
+construction from the live lattice) and the event loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, Hashable, List, Optional
 
 import numpy as np
 
 from ..constants import TEMPERATURE_RPV
 from ..lattice.occupancy import LatticeState
 from ..potentials.base import CountsPotential
-from .propensity import FenwickPropensity, LinearPropensity, PropensityStore
+from .kernel import EventKernel, NoMovesError
+from .propensity import PropensityStore
 from .rates import RateModel, residence_time
 from .tet import TripleEncoding
 from .vacancy_cache import CachedVacancySystem, VacancyCache
 from .vacancy_system import VacancySystemEvaluator
 
 __all__ = ["KMCEvent", "NoMovesError", "SerialAKMCBase", "TensorKMCEngine"]
-
-
-class NoMovesError(RuntimeError):
-    """Raised when the total propensity is zero (no possible events)."""
 
 
 @dataclass(frozen=True)
@@ -47,14 +51,6 @@ class KMCEvent:
     total_rate: float
 
 
-def _make_store(kind: str, n_slots: int) -> PropensityStore:
-    if kind == "tree":
-        return FenwickPropensity(n_slots)
-    if kind == "linear":
-        return LinearPropensity(n_slots)
-    raise ValueError(f"unknown propensity store {kind!r}")
-
-
 class SerialAKMCBase:
     """Shared event loop of the serial engines.
 
@@ -69,8 +65,9 @@ class SerialAKMCBase:
     temperature:
         Simulation temperature in Kelvin.
     rng:
-        Random generator; the draw order is fixed (selection then time), so
-        identical seeds give identical trajectories across engine variants.
+        Random generator; the draw order is fixed (selection then time, see
+        :func:`repro.core.rates.residence_time`), so identical seeds give
+        identical trajectories across engine variants.
     propensity:
         ``"tree"`` (paper default) or ``"linear"``.
     evaluation:
@@ -112,19 +109,43 @@ class SerialAKMCBase:
         vac_sites = sorted(int(s) for s in lattice.vacancy_ids)
         if not vac_sites:
             raise ValueError("lattice contains no vacancies; nothing can evolve")
-        self.cache = VacancyCache(vac_sites)
-        self.store = _make_store(propensity, self.cache.n_slots)
+        self.kernel = EventKernel(
+            self._build_for_site,
+            self._half_of_site,
+            threshold=tet.invalidation_radius,
+            scale=lattice.a / 2.0,
+            propensity=propensity,
+            periodic_half=2 * np.asarray(lattice.shape, dtype=np.int64),
+            keys=vac_sites,
+            use_cache=self.use_cache,
+        )
         self.time = 0.0
         self.step_count = 0
         self.events: List[KMCEvent] = []
         self.record_events = False
 
     # ------------------------------------------------------------------
+    # Kernel plumbing (kept under their historical names)
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> VacancyCache:
+        """The kernel's vacancy-system cache."""
+        return self.kernel.cache
+
+    @property
+    def store(self) -> PropensityStore:
+        """The kernel's propensity store."""
+        return self.kernel.store
+
+    def _half_of_site(self, site: Hashable) -> np.ndarray:
+        return self.lattice.half_coords(np.asarray([int(site)], dtype=np.int64))[0]
+
+    # ------------------------------------------------------------------
     # Vacancy-system (re)construction
     # ------------------------------------------------------------------
-    def build_system(self, slot: int) -> CachedVacancySystem:
-        """Build the vacancy system of a slot from the current lattice."""
-        site = self.cache.slot_site(slot)
+    def _build_for_site(self, site: Hashable) -> CachedVacancySystem:
+        """Build the vacancy system at a flat site from the current lattice."""
+        site = int(site)
         vet_ids = self.lattice.neighbor_ids(site, self.tet.all_offsets)
         vet = self.lattice.occupancy[vet_ids]
         if self.evaluation == "delta":
@@ -136,37 +157,26 @@ class SerialAKMCBase:
             site=site, vet_ids=vet_ids, vet=vet, energies=energies, rates=rates
         )
 
+    def build_system(self, slot: int) -> CachedVacancySystem:
+        """Build the vacancy system of a slot from the current lattice."""
+        return self._build_for_site(self.kernel.key_of(slot))
+
     def _refresh(self) -> None:
         """Bring all slots up to date before selection."""
-        if not self.use_cache:
-            self.cache.invalidate_all()
-        for slot in range(self.cache.n_slots):
-            entry = self.cache.get(slot)
-            if entry is None:
-                entry = self.build_system(slot)
-                self.cache.store(slot, entry)
-                self.store.update(slot, entry.total_rate)
-            else:
-                self.cache.mark_reused(slot)
+        self.kernel.refresh()
 
     # ------------------------------------------------------------------
     # The KMC step
     # ------------------------------------------------------------------
     def step(self) -> KMCEvent:
         """Execute one residence-time KMC event and advance the clock."""
-        self._refresh()
-        total = self.store.total
+        kernel = self.kernel
+        kernel.refresh()
+        total = kernel.total
         if total <= 0.0:
             raise NoMovesError("total propensity is zero — system is frozen")
         u_select = self.rng.random() * total
-        slot, remainder = self.store.select(u_select)
-        entry = self.cache.get(slot)
-        assert entry is not None
-        cum = np.cumsum(entry.rates)
-        direction = int(np.searchsorted(cum, remainder, side="right"))
-        direction = min(direction, 7)
-        while entry.rates[direction] == 0.0 and direction > 0:
-            direction -= 1
+        slot, direction, entry = kernel.select(u_select)
 
         dt = residence_time(total, 1.0 - self.rng.random())
 
@@ -175,10 +185,11 @@ class SerialAKMCBase:
         to_site = int(self.lattice.neighbor_ids(from_site, nn_offset[None, :])[0])
         migrating = int(self.lattice.occupancy[to_site])
         self.lattice.swap(from_site, to_site)
-        self.cache.move(slot, to_site)
-        self.store.update(slot, 0.0)
-        self.cache.invalidate_near(
-            [from_site, to_site], self.lattice, self.tet.invalidation_radius
+        kernel.move(slot, to_site)
+        kernel.invalidate_near(
+            self.lattice.half_coords(
+                np.asarray([from_site, to_site], dtype=np.int64)
+            )
         )
 
         self.time += dt
@@ -226,8 +237,23 @@ class SerialAKMCBase:
     # ------------------------------------------------------------------
     def total_propensity(self) -> float:
         """Current total event rate (refreshing stale systems first)."""
-        self._refresh()
-        return self.store.total
+        self.kernel.refresh()
+        return self.kernel.total
+
+    def restore_slot_order(self, sites) -> None:
+        """Restore a checkpointed slot -> site registry.
+
+        The slot order encodes event identity in a resumed trajectory; this
+        also resyncs the kernel's spatial index and marks everything stale.
+        """
+        self.kernel.set_keys(int(s) for s in sites)
+
+    def summary(self) -> Dict[str, float]:
+        """Merged engine + kernel instrumentation counters."""
+        out = self.kernel.summary()
+        out["steps"] = self.step_count
+        out["time"] = self.time
+        return out
 
 
 class TensorKMCEngine(SerialAKMCBase):

@@ -1,0 +1,477 @@
+"""Shared incremental event kernel — one engine core for every AKMC driver.
+
+The paper's serial innovations (vacancy-system caching, tree-based propensity
+selection, distance invalidation) and the parallel sublattice driver used to
+live in separate implementations; this module owns them once:
+
+* a keyed :class:`~repro.core.vacancy_cache.VacancyCache` holding per-vacancy
+  rate rows (slot-stable, with a free list for dynamic populations),
+* a :class:`~repro.core.propensity.PropensityStore` over the per-slot total
+  rates for the two-level selection — vacancy slot via the Fenwick tree,
+  hop direction via the slot's cumulative rate row,
+* a :class:`SpatialHashIndex` that buckets vacancy positions into cells of
+  one invalidation radius, so post-hop / post-synchronisation invalidation
+  costs O(|changed sites|) instead of a scan over every cached entry.
+
+Drivers parameterise the kernel with two callbacks — ``build_entry(key)``
+computing a rate row (or a full :class:`CachedVacancySystem`) for a vacancy
+key, and ``position_of(key)`` mapping a key to integer half-unit coordinates
+— plus the distance semantics (periodic for the global serial lattice,
+open for a rank's padded window).
+
+Every kernel operation feeds the shared instrumentation counters
+(:class:`KernelStats` + the cache's hit/rebuild stats), which the engines
+surface through ``summary()`` and the parallel driver threads into
+:class:`~repro.parallel.engine.CycleStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from .propensity import FenwickPropensity, LinearPropensity, PropensityStore
+from .vacancy_cache import VacancyCache
+
+__all__ = [
+    "NoMovesError",
+    "KernelStats",
+    "SimpleRateEntry",
+    "SpatialHashIndex",
+    "EventKernel",
+    "select_direction",
+    "make_store",
+]
+
+
+class NoMovesError(RuntimeError):
+    """Raised when no event can be executed (zero propensity / dead rate row)."""
+
+
+def make_store(kind: str, n_slots: int) -> PropensityStore:
+    """Construct a propensity store by name (``"tree"`` or ``"linear"``)."""
+    if kind == "tree":
+        return FenwickPropensity(n_slots)
+    if kind == "linear":
+        return LinearPropensity(n_slots)
+    raise ValueError(f"unknown propensity store {kind!r}")
+
+
+def select_direction(rates: np.ndarray, remainder: float) -> int:
+    """Hop direction from a per-direction rate row and a selection remainder.
+
+    The remainder is ``u`` minus the cumulative propensity of all earlier
+    slots (see :meth:`PropensityStore.select`); the direction is the first
+    whose cumulative rate exceeds it.  Floating-point edge cases that land on
+    the cumulative boundary are walked back onto the nearest direction with a
+    positive rate; a row with *no* positive rate raises :class:`NoMovesError`
+    instead of silently executing an impossible hop (a zero-rate direction
+    encodes an invalid move, e.g. a vacancy-vacancy swap).
+    """
+    cum = np.cumsum(rates)
+    direction = int(np.searchsorted(cum, remainder, side="right"))
+    direction = min(direction, len(rates) - 1)
+    while rates[direction] == 0.0 and direction > 0:
+        direction -= 1
+    if rates[direction] == 0.0:
+        nonzero = np.flatnonzero(rates)
+        if nonzero.size == 0:
+            raise NoMovesError("selected rate row has no executable direction")
+        direction = int(nonzero[0])
+    return direction
+
+
+@dataclass
+class SimpleRateEntry:
+    """Minimal cache entry: just a per-direction rate row.
+
+    Used by drivers (the parallel ranks) that do not need the full
+    :class:`CachedVacancySystem` payload.
+    """
+
+    rates: np.ndarray
+
+    @property
+    def total_rate(self) -> float:
+        return float(self.rates.sum())
+
+
+@dataclass
+class KernelStats:
+    """Selection-side instrumentation (cache counters live on the cache)."""
+
+    selections: int = 0
+    selection_depth: int = 0
+    rates_evaluated: int = 0
+
+
+class SpatialHashIndex:
+    """Cell-bucketed index of slot positions in integer half-unit coordinates.
+
+    Buckets have an edge length of one invalidation reach, so any position
+    within the reach of a query point lies in one of the 27 neighbouring
+    buckets — ``candidates_near`` returns that superset and the kernel
+    applies the exact (optionally periodic minimum-image) distance test.
+    """
+
+    def __init__(
+        self, bucket_half: int, periodic_half: Optional[Sequence[int]] = None
+    ) -> None:
+        self.bucket = max(1, int(bucket_half))
+        self.periodic = (
+            None
+            if periodic_half is None
+            else np.asarray(periodic_half, dtype=np.int64)
+        )
+        self._buckets: Dict[Tuple[int, int, int], Set[int]] = {}
+        self._pos: Dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._pos)
+
+    def _canonical(self, half: np.ndarray) -> np.ndarray:
+        half = np.asarray(half, dtype=np.int64)
+        if self.periodic is None:
+            return half
+        return np.mod(half, self.periodic)
+
+    def _bucket_key(self, canonical: np.ndarray) -> Tuple[int, int, int]:
+        b = canonical // self.bucket
+        return (int(b[0]), int(b[1]), int(b[2]))
+
+    def insert(self, slot: int, half: np.ndarray) -> None:
+        canonical = self._canonical(half)
+        key = self._bucket_key(canonical)
+        self._buckets.setdefault(key, set()).add(slot)
+        self._pos[slot] = canonical
+
+    def remove(self, slot: int) -> None:
+        canonical = self._pos.pop(slot)
+        key = self._bucket_key(canonical)
+        members = self._buckets[key]
+        members.discard(slot)
+        if not members:
+            del self._buckets[key]
+
+    def move(self, slot: int, half: np.ndarray) -> None:
+        self.remove(slot)
+        self.insert(slot, half)
+
+    def position(self, slot: int) -> np.ndarray:
+        """Canonical stored position of a slot."""
+        return self._pos[slot]
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._pos.clear()
+
+    # ------------------------------------------------------------------
+    def _axis_bucket_indices(self, lo: int, hi: int, axis: int) -> List[int]:
+        """Bucket indices covering the (possibly wrapped) interval [lo, hi]."""
+        b = self.bucket
+        if self.periodic is None:
+            return list(range(lo // b, hi // b + 1))
+        dims = int(self.periodic[axis])
+        if hi - lo + 1 >= dims:
+            return list(range(0, (dims - 1) // b + 1))
+        a, z = lo % dims, hi % dims
+        if a <= z:
+            return list(range(a // b, z // b + 1))
+        # The interval wraps: cover [0, z] and [a, dims-1].
+        return list(range(0, z // b + 1)) + list(
+            range(a // b, (dims - 1) // b + 1)
+        )
+
+    def candidates_near(self, half: np.ndarray, reach: int) -> Set[int]:
+        """Slots possibly within ``reach`` half-units of a point (superset)."""
+        half = np.asarray(half, dtype=np.int64)
+        axes = [
+            self._axis_bucket_indices(int(half[ax]) - reach, int(half[ax]) + reach, ax)
+            for ax in range(3)
+        ]
+        out: Set[int] = set()
+        for bx in axes[0]:
+            for by in axes[1]:
+                for bz in axes[2]:
+                    members = self._buckets.get((bx, by, bz))
+                    if members:
+                        out |= members
+        return out
+
+    def displacement(self, slot: int, half: np.ndarray) -> np.ndarray:
+        """Float (minimum-image) half-unit displacement slot -> point."""
+        delta = (self._canonical(half) - self._pos[slot]).astype(np.float64)
+        if self.periodic is not None:
+            span = self.periodic.astype(np.float64)
+            delta -= span * np.round(delta / span)
+        return delta
+
+
+class EventKernel:
+    """The shared event core: rate cache + two-level selection + invalidation.
+
+    Parameters
+    ----------
+    build_entry:
+        ``key -> entry`` callback computing a vacancy's rate data from the
+        driver's live state.  The entry must expose ``rates`` (a ``(8,)``
+        per-direction row) and ``total_rate``; a bare ndarray is wrapped in
+        :class:`SimpleRateEntry`.
+    position_of:
+        ``key -> (3,)`` integer half-unit coordinates for the spatial index.
+    threshold:
+        Invalidation distance threshold, in the driver's distance units.
+    scale:
+        Half-unit-to-distance-unit factor: ``a / 2`` for the serial engines
+        (threshold in Angstrom), ``1.0`` for the parallel windows (threshold
+        already in half-units).  A slot is stale when
+        ``|scale * delta_half| <= threshold + 1e-9``.
+    propensity:
+        ``"tree"`` (paper default, O(log n) selection) or ``"linear"``.
+    periodic_half:
+        Half-unit box dimensions for periodic minimum-image distances, or
+        ``None`` for open (padded-window) coordinates.
+    keys:
+        Initial vacancy keys, one slot each, in registry order.
+    use_cache:
+        When ``False`` every refresh first drops all entries ("cache all"
+        semantics: no reuse at all, the OpenKMC baseline).
+    """
+
+    def __init__(
+        self,
+        build_entry: Callable[[Hashable], object],
+        position_of: Callable[[Hashable], np.ndarray],
+        *,
+        threshold: float,
+        scale: float = 1.0,
+        propensity: str = "tree",
+        periodic_half: Optional[Sequence[int]] = None,
+        keys: Iterable[Hashable] = (),
+        use_cache: bool = True,
+    ) -> None:
+        self.build_entry = build_entry
+        self.position_of = position_of
+        self.threshold = float(threshold)
+        self.scale = float(scale)
+        self.use_cache = bool(use_cache)
+        self.cache = VacancyCache(keys)
+        self.store = make_store(propensity, self.cache.n_slots)
+        self._reach = max(1, int(np.ceil((self.threshold + 1e-9) / self.scale)))
+        self.index = SpatialHashIndex(self._reach, periodic_half)
+        self.stats = KernelStats()
+        self._stale: Set[int] = set()
+        #: Explicit active-slot set, or ``None`` meaning "all live slots"
+        #: (the serial engines); the parallel driver narrows it per sector.
+        self._active: Optional[Set[int]] = None
+        for slot in self.cache.live_slots():
+            self.index.insert(slot, self.position_of(self.cache.key_of(slot)))
+            self._stale.add(slot)
+
+    # ------------------------------------------------------------------
+    # Registry: dynamic vacancy populations
+    # ------------------------------------------------------------------
+    def key_of(self, slot: int) -> Hashable:
+        return self.cache.key_of(slot)
+
+    def slot_of(self, key: Hashable) -> Optional[int]:
+        return self.cache.slot_of(key)
+
+    def live_slots(self) -> List[int]:
+        return self.cache.live_slots()
+
+    def add(self, key: Hashable) -> int:
+        """Register a vacancy; it starts stale (and inactive under a sector)."""
+        slot = self.cache.add_slot(key)
+        if slot >= self.store.n_slots:
+            self.store.grow(max(slot + 1, 2 * self.store.n_slots))
+        else:
+            self.store.update(slot, 0.0)
+        self.index.insert(slot, self.position_of(key))
+        self._stale.add(slot)
+        return slot
+
+    def remove(self, slot: int) -> None:
+        """Unregister a vacancy; its slot parks at zero propensity."""
+        self.cache.remove_slot(slot)
+        self.store.update(slot, 0.0)
+        self.index.remove(slot)
+        self._stale.discard(slot)
+        if self._active is not None:
+            self._active.discard(slot)
+
+    def move(self, slot: int, new_key: Hashable) -> None:
+        """A vacancy hopped: rekey the slot, invalidate it, park at zero."""
+        self.cache.move(slot, new_key)
+        self.store.update(slot, 0.0)
+        self.index.move(slot, self.position_of(new_key))
+        self._stale.add(slot)
+
+    def set_keys(self, keys: Iterable[Hashable]) -> None:
+        """Reset the registry order (checkpoint restore); all slots go stale."""
+        self.cache.set_keys(keys)
+        self.store.resize(self.cache.n_slots)
+        self.index.clear()
+        self._active = None
+        self._stale = set(self.cache.live_slots())
+        for slot in self._stale:
+            self.index.insert(slot, self.position_of(self.cache.key_of(slot)))
+
+    # ------------------------------------------------------------------
+    # Sector activation (parallel sublattice protocol)
+    # ------------------------------------------------------------------
+    def set_active(self, slots: Optional[Iterable[int]]) -> None:
+        """Restrict selection to ``slots`` (``None`` -> all live slots)."""
+        if slots is None:
+            self._active = None
+            for slot in self.cache.live_slots():
+                entry = self.cache.get(slot)
+                self.store.update(
+                    slot, entry.total_rate if entry is not None else 0.0
+                )
+                if entry is None:
+                    self._stale.add(slot)
+            return
+        self._active = {int(s) for s in slots}
+        for slot in self.cache.live_slots():
+            entry = self.cache.get(slot)
+            if slot in self._active and entry is not None:
+                self.store.update(slot, entry.total_rate)
+            else:
+                self.store.update(slot, 0.0)
+
+    def deactivate(self, slot: int) -> None:
+        """Drop a slot from the active set (it keeps its cache entry)."""
+        if self._active is None:
+            self._active = set(self.cache.live_slots())
+        self._active.discard(slot)
+        self.store.update(slot, 0.0)
+
+    def _active_live(self) -> List[int]:
+        live = self.cache.live_slots()
+        if self._active is None:
+            return live
+        return [s for s in live if s in self._active]
+
+    # ------------------------------------------------------------------
+    # Refresh + selection
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Bring every active slot up to date before selection.
+
+        Only stale slots are rebuilt (O(|stale| log n)); fresh active slots
+        count as cache hits, exactly as the per-slot bookkeeping of the
+        original serial engine.
+        """
+        if not self.use_cache:
+            self.invalidate_all()
+        active = self._active_live()
+        if self._active is None:
+            stale = sorted(self._stale)
+        else:
+            stale = sorted(s for s in self._stale if s in self._active)
+        for slot in stale:
+            entry = self.build_entry(self.cache.key_of(slot))
+            if isinstance(entry, np.ndarray):
+                entry = SimpleRateEntry(entry)
+            self.cache.store(slot, entry)
+            self.store.update(slot, entry.total_rate)
+            self._stale.discard(slot)
+            self.stats.rates_evaluated += int(np.asarray(entry.rates).size)
+        self.cache.stats.reuses += max(0, len(active) - len(stale))
+
+    @property
+    def total(self) -> float:
+        """Current total propensity over the active slots."""
+        return self.store.total
+
+    def select(self, u: float) -> Tuple[int, int, object]:
+        """Two-level selection: slot via the store, direction via its row.
+
+        Returns ``(slot, direction, entry)``.  Raises :class:`NoMovesError`
+        when a numerical boundary lands on a slot with no executable
+        direction (e.g. a parked slot reached through the tree's clamp).
+        """
+        slot, remainder = self.store.select(u)
+        entry = self.cache.get(slot)
+        if entry is None:
+            raise NoMovesError(f"selection landed on empty slot {slot}")
+        direction = select_direction(entry.rates, remainder)
+        self.stats.selections += 1
+        self.stats.selection_depth += int(
+            getattr(self.store, "last_select_depth", 0)
+        )
+        return slot, direction, entry
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate_near(self, points_half: np.ndarray) -> int:
+        """Invalidate cached entries near changed positions (Sec. 3.2).
+
+        ``points_half`` is an ``(n, 3)`` array of half-unit coordinates.  The
+        spatial hash narrows each point to its 27 neighbouring buckets, then
+        the exact (periodic, where configured) distance test decides.
+        Returns the number of entries invalidated.
+        """
+        points = np.asarray(points_half, dtype=np.int64).reshape(-1, 3)
+        if points.shape[0] == 0:
+            return 0
+        count = 0
+        for point in points:
+            for slot in self.index.candidates_near(point, self._reach):
+                if self.cache.get(slot) is None:
+                    continue
+                delta = self.index.displacement(slot, point) * self.scale
+                if np.sqrt(np.sum(delta * delta)) <= self.threshold + 1e-9:
+                    self.cache.invalidate_slot(slot)
+                    self._stale.add(slot)
+                    count += 1
+        return count
+
+    def invalidate_all(self) -> None:
+        """Drop every live entry (cache-off mode / global resync)."""
+        for slot in self.cache.live_slots():
+            self.cache.invalidate_slot(slot)
+            self._stale.add(slot)
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of every monotonic counter (for per-cycle deltas)."""
+        return {
+            "cache_hits": self.cache.stats.reuses,
+            "cache_misses": self.cache.stats.rebuilds,
+            "invalidations": self.cache.stats.invalidations,
+            "rates_evaluated": self.stats.rates_evaluated,
+            "selections": self.stats.selections,
+            "selection_depth": self.stats.selection_depth,
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """One merged set of counters for benchmarks and reports."""
+        out = dict(self.cache.summary())
+        out["cache_hits"] = out.pop("reuses")
+        out["cache_misses"] = out.pop("rebuilds")
+        out["rates_evaluated"] = self.stats.rates_evaluated
+        out["selections"] = self.stats.selections
+        out["selection_depth"] = self.stats.selection_depth
+        out["mean_selection_depth"] = (
+            self.stats.selection_depth / self.stats.selections
+            if self.stats.selections
+            else 0.0
+        )
+        return out

@@ -19,11 +19,32 @@ __all__ = ["PropensityStore", "LinearPropensity", "FenwickPropensity"]
 
 
 class PropensityStore(ABC):
-    """Slot-indexed non-negative propensities with weighted selection."""
+    """Slot-indexed non-negative propensities with weighted selection.
+
+    Stores support *dynamic slot populations* (used by the shared event
+    kernel when vacancies enter or leave a rank's active region): ``grow``
+    extends the slot range while preserving existing values, and freed slots
+    are simply parked at propensity zero so they can never be selected.
+    ``select`` additionally records ``last_select_depth`` — the number of
+    elementary comparisons of the most recent selection — which the kernel
+    aggregates into its instrumentation counters.
+    """
+
+    #: Comparisons performed by the most recent ``select`` call.
+    last_select_depth: int = 0
 
     @abstractmethod
     def resize(self, n_slots: int) -> None:
         """Reset to ``n_slots`` slots, all zero."""
+
+    @abstractmethod
+    def grow(self, n_slots: int) -> None:
+        """Extend to ``n_slots`` slots, preserving values (new slots zero)."""
+
+    @property
+    @abstractmethod
+    def n_slots(self) -> int:
+        """Number of addressable slots."""
 
     @abstractmethod
     def update(self, slot: int, value: float) -> None:
@@ -57,6 +78,21 @@ class LinearPropensity(PropensityStore):
     def resize(self, n_slots: int) -> None:
         self.values = np.zeros(n_slots, dtype=np.float64)
 
+    def grow(self, n_slots: int) -> None:
+        n_slots = int(n_slots)
+        if n_slots < self.n_slots:
+            raise ValueError(
+                f"grow cannot shrink: {n_slots} < {self.n_slots} slots"
+            )
+        if n_slots > self.n_slots:
+            self.values = np.concatenate(
+                [self.values, np.zeros(n_slots - self.n_slots, dtype=np.float64)]
+            )
+
+    @property
+    def n_slots(self) -> int:
+        return int(self.values.shape[0])
+
     def update(self, slot: int, value: float) -> None:
         if value < 0:
             raise ValueError(f"propensity must be >= 0, got {value!r}")
@@ -74,6 +110,7 @@ class LinearPropensity(PropensityStore):
         if not 0.0 <= u < cum[-1]:
             raise ValueError(f"u={u!r} outside [0, total={cum[-1]!r})")
         slot = int(np.searchsorted(cum, u, side="right"))
+        self.last_select_depth = self.n_slots
         prev = float(cum[slot - 1]) if slot > 0 else 0.0
         return slot, u - prev
 
@@ -96,6 +133,29 @@ class FenwickPropensity(PropensityStore):
             self._cap *= 2
         self.tree = np.zeros(self._cap + 1, dtype=np.float64)
         self.values = np.zeros(self.n, dtype=np.float64)
+
+    def grow(self, n_slots: int) -> None:
+        n_slots = int(n_slots)
+        if n_slots < self.n:
+            raise ValueError(f"grow cannot shrink: {n_slots} < {self.n} slots")
+        if n_slots == self.n:
+            return
+        if n_slots <= self._cap:
+            # The tree already spans the new slots (they aggregate as zero);
+            # only the dense value array needs extending.
+            self.values = np.concatenate(
+                [self.values, np.zeros(n_slots - self.n, dtype=np.float64)]
+            )
+            self.n = n_slots
+            return
+        old = self.values
+        self.resize(n_slots)
+        for slot in np.flatnonzero(old):
+            self.update(int(slot), float(old[slot]))
+
+    @property
+    def n_slots(self) -> int:
+        return self.n
 
     def update(self, slot: int, value: float) -> None:
         if value < 0:
@@ -140,12 +200,15 @@ class FenwickPropensity(PropensityStore):
         pos = 0
         rem = u
         step = self._cap
+        depth = 0
         while step > 0:
             nxt = pos + step
             if nxt <= self._cap and self.tree[nxt] <= rem:
                 rem -= self.tree[nxt]
                 pos = nxt
             step //= 2
+            depth += 1
+        self.last_select_depth = depth
         slot = pos  # pos = count of slots with cumulative <= u
         if slot >= self.n:  # numerical edge: clamp onto the last live slot
             slot = self.n - 1

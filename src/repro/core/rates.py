@@ -69,6 +69,14 @@ class RateModel:
 def residence_time(total_rate: float, u: float) -> float:
     """Residence-time increment (Eq. 3): ``-ln(u) / total_rate``.
 
+    This is the single place that states the draw-order contract shared by
+    every driver (serial engines and parallel ranks alike): each event first
+    draws the *selection* variate (``rng.random() * total``, consumed by the
+    two-level kernel selection) and only then the *time* variate, passed here
+    as ``u = 1.0 - rng.random()`` so that ``u`` lies in (0, 1].  Fixing the
+    order — selection then time — is what makes fixed-seed trajectories
+    bit-identical across engine variants.
+
     Parameters
     ----------
     total_rate:

@@ -6,12 +6,20 @@ a hop or a ghost synchronisation, the Euclidean distances between the active
 (changed) sites and the centres of cached systems decide which entries are
 stale: anything within the TET invalidation radius is recomputed at the next
 propensity refresh, everything else is reused.
+
+The cache is *keyed*: a slot is identified by an opaque hashable key — a flat
+lattice site index for the serial engines, a window half-coordinate tuple for
+the parallel ranks — so one registry serves every driver.  Slots are stable
+(a vacancy keeps its slot when it hops) and freed slots are recycled through
+a free list, which is what lets the parallel driver add and remove vacancies
+as they enter and leave its subdomain without reindexing the propensity
+structure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Hashable, Iterable, List, Optional
 
 import numpy as np
 
@@ -55,32 +63,126 @@ class CacheStats:
         return self.reuses / total if total else 0.0
 
 
+def _canonical_key(key: Hashable) -> Hashable:
+    """Normalise keys so equal coordinates always hash equally."""
+    if isinstance(key, tuple):
+        return tuple(int(v) for v in key)
+    if isinstance(key, np.ndarray):
+        return tuple(int(v) for v in key)
+    return int(key)
+
+
 class VacancyCache:
-    """Slot-indexed cache of vacancy systems with distance invalidation.
+    """Key-indexed cache of vacancy systems with distance invalidation.
 
     Slots correspond to vacancies in a stable registry order (a vacancy keeps
     its slot when it hops), so the propensity structure can address them
-    directly.
+    directly.  Keys are flat site indices (serial) or half-coordinate tuples
+    (parallel); removed slots are recycled through a free list.
     """
 
-    def __init__(self, vacancy_sites: Iterable[int]) -> None:
-        self.sites: List[int] = [int(s) for s in vacancy_sites]
-        self.entries: List[Optional[CachedVacancySystem]] = [None] * len(self.sites)
+    def __init__(self, keys: Iterable[Hashable]) -> None:
+        self._keys: List[Optional[Hashable]] = [_canonical_key(k) for k in keys]
+        self.entries: List[Optional[CachedVacancySystem]] = [None] * len(self._keys)
+        self._slot_of: Dict[Hashable, int] = {
+            k: i for i, k in enumerate(self._keys)
+        }
+        if len(self._slot_of) != len(self._keys):
+            raise ValueError("duplicate vacancy keys")
+        self._free: List[int] = []
         self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    @property
+    def sites(self) -> List[Optional[Hashable]]:
+        """The slot -> key registry (kept under its historical name)."""
+        return self._keys
+
+    @sites.setter
+    def sites(self, keys: Iterable[Hashable]) -> None:
+        self.set_keys(keys)
+
+    def set_keys(self, keys: Iterable[Hashable]) -> None:
+        """Reset the registry to a new slot order (all entries dropped).
+
+        Used by checkpoint restore, where the stored slot order encodes event
+        identity.  Engines must re-sync their spatial index afterwards
+        (``EventKernel.set_keys`` does both).
+        """
+        self._keys = [
+            None if k is None else _canonical_key(k) for k in keys
+        ]
+        self.entries = [None] * len(self._keys)
+        self._slot_of = {
+            k: i for i, k in enumerate(self._keys) if k is not None
+        }
+        self._free = [i for i, k in enumerate(self._keys) if k is None]
 
     @property
     def n_slots(self) -> int:
-        return len(self.sites)
+        """Slot capacity, including parked (free) slots."""
+        return len(self._keys)
 
-    def slot_site(self, slot: int) -> int:
-        """Current lattice site of the vacancy in a slot."""
-        return self.sites[slot]
+    @property
+    def n_live(self) -> int:
+        """Number of slots currently holding a vacancy."""
+        return len(self._keys) - len(self._free)
 
-    def move(self, slot: int, new_site: int) -> None:
+    def live_slots(self) -> List[int]:
+        """Slots currently holding a vacancy, ascending."""
+        return [i for i, k in enumerate(self._keys) if k is not None]
+
+    def slot_site(self, slot: int) -> Hashable:
+        """Current key (lattice site / half-coordinate) of a slot."""
+        return self._keys[slot]
+
+    #: Alias for the keyed reading of :meth:`slot_site`.
+    key_of = slot_site
+
+    def slot_of(self, key: Hashable) -> Optional[int]:
+        """Slot holding ``key``, or ``None``."""
+        return self._slot_of.get(_canonical_key(key))
+
+    def add_slot(self, key: Hashable) -> int:
+        """Register a new vacancy, recycling a freed slot when possible."""
+        key = _canonical_key(key)
+        if key in self._slot_of:
+            raise ValueError(f"key {key!r} already registered")
+        if self._free:
+            slot = self._free.pop()
+            self._keys[slot] = key
+        else:
+            slot = len(self._keys)
+            self._keys.append(key)
+            self.entries.append(None)
+        self._slot_of[key] = slot
+        return slot
+
+    def remove_slot(self, slot: int) -> None:
+        """Unregister a vacancy; the slot is parked for reuse."""
+        key = self._keys[slot]
+        if key is None:
+            raise ValueError(f"slot {slot} is already free")
+        del self._slot_of[key]
+        self._keys[slot] = None
+        self.entries[slot] = None
+        self._free.append(slot)
+
+    def move(self, slot: int, new_key: Hashable) -> None:
         """Record that a vacancy hopped to a new site (entry invalidated)."""
-        self.sites[slot] = int(new_site)
+        new_key = _canonical_key(new_key)
+        old_key = self._keys[slot]
+        if old_key is not None:
+            del self._slot_of[old_key]
+        self._keys[slot] = new_key
+        self._slot_of[new_key] = slot
         self.entries[slot] = None
 
+    # ------------------------------------------------------------------
+    # Entries
+    # ------------------------------------------------------------------
     def get(self, slot: int) -> Optional[CachedVacancySystem]:
         return self.entries[slot]
 
@@ -92,8 +194,18 @@ class VacancyCache:
         self.stats.reuses += 1
 
     def stale_slots(self) -> List[int]:
-        """Slots whose cached system must be rebuilt."""
-        return [i for i, e in enumerate(self.entries) if e is None]
+        """Live slots whose cached system must be rebuilt."""
+        return [
+            i
+            for i, e in enumerate(self.entries)
+            if e is None and self._keys[i] is not None
+        ]
+
+    def invalidate_slot(self, slot: int) -> None:
+        """Drop one live entry (counted in the invalidation stats)."""
+        if self.entries[slot] is not None:
+            self.entries[slot] = None
+            self.stats.invalidations += 1
 
     def invalidate_all(self) -> None:
         """Drop every entry (cache-off mode / global resync)."""
@@ -111,15 +223,18 @@ class VacancyCache:
         """Invalidate systems whose centre is within ``radius`` of a change.
 
         This is the paper's post-hop / post-synchronisation distance test
-        (Sec. 3.2).  Distances use the periodic minimum image.
+        (Sec. 3.2), as a linear scan over every cached entry.  The engines go
+        through :class:`repro.core.kernel.EventKernel`, whose spatial hash
+        index finds the same stale set in O(|changed|); this method remains
+        for int-keyed caches used standalone.
         """
         changed = [int(s) for s in changed_sites]
         if not changed:
             return
         for slot, entry in enumerate(self.entries):
-            if entry is None:
+            if entry is None or self._keys[slot] is None:
                 continue
-            center = self.sites[slot]
+            center = self._keys[slot]
             for site in changed:
                 d = np.linalg.norm(
                     lattice.minimum_image_displacement(center, site)
@@ -135,9 +250,12 @@ class VacancyCache:
         for entry in self.entries:
             if entry is None:
                 continue
-            total += entry.vet_ids.nbytes + entry.vet.nbytes + entry.rates.nbytes
-            total += entry.energies.delta.nbytes + entry.energies.valid.nbytes
-            total += entry.energies.migrating_species.nbytes + 8  # initial float
+            if isinstance(entry, CachedVacancySystem):
+                total += entry.vet_ids.nbytes + entry.vet.nbytes + entry.rates.nbytes
+                total += entry.energies.delta.nbytes + entry.energies.valid.nbytes
+                total += entry.energies.migrating_species.nbytes + 8  # initial float
+            else:  # generic kernel entry: only the rate row is held
+                total += int(getattr(entry.rates, "nbytes", 0))
         return total
 
     def summary(self) -> Dict[str, float]:

@@ -79,9 +79,10 @@ def load_checkpoint(
     )
     engine.time = float(data["time"][0])
     engine.step_count = int(data["step_count"][0])
-    # Restore the vacancy registry's slot order (it encodes event identity).
+    # Restore the vacancy registry's slot order (it encodes event identity);
+    # restore_slot_order also resyncs the kernel's spatial invalidation index.
     stored = [int(s) for s in data["vacancy_slots"]]
     if sorted(stored) != sorted(engine.cache.sites):
         raise ValueError("checkpoint vacancies do not match the occupancy array")
-    engine.cache.sites = stored
+    engine.restore_slot_order(stored)
     return engine

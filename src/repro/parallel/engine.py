@@ -11,18 +11,27 @@ rejected, the standard semirigorous rule), then ghost regions synchronise and
 the sector index rotates.  Conflict freedom holds by construction because
 concurrently-active sectors of neighbouring ranks are at least one sector
 width apart (validated by :class:`~repro.parallel.sublattice.SectorGeometry`).
+
+Each rank drives the same :class:`~repro.core.kernel.EventKernel` as the
+serial engines: per-vacancy rate rows live in the keyed cache, events are
+selected through the Fenwick tree in O(log n), and post-hop / post-exchange
+invalidation goes through the spatial-hash index in O(|changed|).  Vacancies
+entering or leaving a rank's box are added to / removed from the kernel
+registry at the post-cycle rescan (free-list slot recycling), and the sector
+restriction maps onto the kernel's active-slot set.
 """
 
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..constants import T_STOP, TEMPERATURE_RPV
-from ..core.rates import RateModel
+from ..core.kernel import EventKernel, NoMovesError
+from ..core.rates import RateModel, residence_time
 from ..core.tet import TripleEncoding
 from ..core.vacancy_system import VacancySystemEvaluator
 from ..lattice.domain import LocalWindow
@@ -38,7 +47,7 @@ __all__ = ["RankState", "SublatticeKMC", "CycleStats"]
 
 @dataclass
 class CycleStats:
-    """Per-cycle accounting for the scaling model."""
+    """Per-cycle accounting for the scaling model and kernel instrumentation."""
 
     sector: int
     events: int
@@ -46,10 +55,17 @@ class CycleStats:
     compute_seconds: float
     comm_messages: int
     comm_bytes: int
+    #: Kernel counter deltas for this cycle (summed over ranks).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    invalidations: int = 0
+    rates_evaluated: int = 0
+    selections: int = 0
+    selection_depth: int = 0
 
 
 class RankState:
-    """Everything one rank owns: window, vacancies, cache, RNG."""
+    """Everything one rank owns: window, vacancies, event kernel, RNG."""
 
     def __init__(
         self,
@@ -72,8 +88,18 @@ class RankState:
         self.vacancy_code = evaluator.vacancy_code
         #: Vacancies in the local box, as window half-coordinates.
         self.vacancies = window.local_vacancy_half_coords(self.vacancy_code)
-        #: Rate cache keyed by vacancy half-coordinate tuple.
-        self.cache: Dict[Tuple[int, int, int], np.ndarray] = {}
+        # Distances are taken directly in window half-units (non-periodic:
+        # the padded window never wraps), so the threshold converts the TET
+        # radius from Angstrom through scale=1.
+        self.kernel = EventKernel(
+            self._build_rates,
+            lambda key: np.asarray(key, dtype=np.int64),
+            threshold=2.0 * self.tet.invalidation_radius / self.tet.geometry.a,
+            scale=1.0,
+            propensity="tree",
+            periodic_half=None,
+            keys=[tuple(int(v) for v in h) for h in self.vacancies],
+        )
         self.events = 0
         self.rejected = 0
         #: Hops blocked by inconsistent (stale) data — naive mode only.
@@ -81,36 +107,38 @@ class RankState:
 
     # ------------------------------------------------------------------
     def rescan_vacancies(self) -> None:
-        """Rebuild the local vacancy list from the owned occupancy block."""
-        self.vacancies = self.window.local_vacancy_half_coords(self.vacancy_code)
+        """Rebuild the local vacancy list and sync the kernel registry.
 
-    def _rates_of(self, half: np.ndarray) -> np.ndarray:
+        Vacancies that hopped out of the owned block (or were moved away by
+        a neighbour's update) leave the registry; newly arrived ones get a
+        slot from the free list.
+        """
+        self.vacancies = self.window.local_vacancy_half_coords(self.vacancy_code)
+        current = {tuple(int(v) for v in h) for h in self.vacancies}
+        kernel = self.kernel
+        known = set()
+        for slot in kernel.live_slots():
+            key = kernel.key_of(slot)
+            if key in current:
+                known.add(key)
+            else:
+                kernel.remove(slot)
+        for key in sorted(current - known):
+            kernel.add(key)
+
+    def _build_rates(self, key: Tuple[int, int, int]) -> np.ndarray:
         """Per-direction rates of the vacancy at window half-coords."""
-        key = tuple(int(v) for v in half)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return cached
+        half = np.asarray(key, dtype=np.int64)
         vet_half = half[None, :] + self.tet.all_offsets
         vet = self.window.species_at_half(vet_half)
         energies = self.evaluator.evaluate(vet)
-        rates = self.rate_model.rates(energies)
-        self.cache[key] = rates
-        return rates
+        return self.rate_model.rates(energies)
 
     def invalidate_near(self, changed_half: np.ndarray) -> None:
         """Drop cached rates of vacancies near changed sites (Sec. 3.2)."""
-        if changed_half.size == 0 or not self.cache:
+        if changed_half.size == 0:
             return
-        radius_half = 2.0 * self.tet.invalidation_radius / self.tet.geometry.a
-        changed = changed_half.reshape(-1, 3).astype(np.float64)
-        stale = []
-        for key in self.cache:
-            center = np.array(key, dtype=np.float64)
-            d = np.sqrt(np.sum((changed - center) ** 2, axis=1))
-            if np.any(d <= radius_half + 1e-9):
-                stale.append(key)
-        for key in stale:
-            del self.cache[key]
+        self.kernel.invalidate_near(changed_half)
 
     # ------------------------------------------------------------------
     def run_sector(self, sector, t_stop: float) -> SiteUpdates:
@@ -122,6 +150,7 @@ class RankState:
         """
         window = self.window
         ghost = window.ghost
+        kernel = self.kernel
         if len(self.vacancies) == 0:
             active_mask = np.zeros(0, dtype=bool)
         elif sector is None:
@@ -130,72 +159,80 @@ class RankState:
             active_mask = (
                 self.sectors.sector_of_half(self.vacancies, ghost) == sector
             )
-        active = [tuple(int(v) for v in h) for h in self.vacancies[active_mask]]
+        active_slots = [
+            slot
+            for h in self.vacancies[active_mask]
+            if (slot := kernel.slot_of(tuple(int(v) for v in h))) is not None
+        ]
+        kernel.set_active(active_slots)
         changed_subs: List[int] = []
         changed_cells: List[np.ndarray] = []
         changed_species: List[int] = []
 
         clock = 0.0
-        while active:
-            rate_rows = [self._rates_of(np.array(h)) for h in active]
-            totals = np.array([r.sum() for r in rate_rows])
-            total = float(totals.sum())
-            if total <= 0.0:
-                break
-            dt = -np.log(1.0 - self.rng.random()) / total
-            if clock + dt > t_stop:
-                self.rejected += 1
-                break
-            clock += dt
-            u = self.rng.random() * total
-            cum = np.cumsum(totals)
-            vac_idx = int(np.searchsorted(cum, u, side="right"))
-            vac_idx = min(vac_idx, len(active) - 1)
-            rem = u - (cum[vac_idx - 1] if vac_idx > 0 else 0.0)
-            rates = rate_rows[vac_idx]
-            dcum = np.cumsum(rates)
-            direction = min(int(np.searchsorted(dcum, rem, side="right")), 7)
-            while rates[direction] == 0.0 and direction > 0:
-                direction -= 1
+        try:
+            while True:
+                kernel.refresh()
+                total = kernel.total
+                if total <= 0.0:
+                    break
+                u = self.rng.random() * total
+                slot, direction, entry = kernel.select(u)
+                dt = residence_time(total, 1.0 - self.rng.random())
+                if clock + dt > t_stop:
+                    self.rejected += 1
+                    break
+                clock += dt
 
-            vac_half = np.array(active[vac_idx], dtype=np.int64)
-            target_half = vac_half + self.tet.nn_offsets[direction]
-            # Swap occupants in the window.
-            vac_species = window.species_at_half(vac_half[None, :])[0]
-            tgt_species = window.species_at_half(target_half[None, :])[0]
-            if vac_species != self.vacancy_code or tgt_species == self.vacancy_code:
-                # Only reachable through stale data in naive mode (a would-be
-                # boundary conflict); the sublattice protocol forbids it.
-                self.anomalies += 1
-                active.pop(vac_idx)
-                continue
-            window.set_species_at_half(vac_half[None, :], tgt_species)
-            window.set_species_at_half(target_half[None, :], self.vacancy_code)
-            self.events += 1
+                vac_half = np.asarray(kernel.key_of(slot), dtype=np.int64)
+                target_half = vac_half + self.tet.nn_offsets[direction]
+                # Swap occupants in the window.
+                vac_species = window.species_at_half(vac_half[None, :])[0]
+                tgt_species = window.species_at_half(target_half[None, :])[0]
+                if (
+                    vac_species != self.vacancy_code
+                    or tgt_species == self.vacancy_code
+                ):
+                    # Only reachable through stale data in naive mode (a
+                    # would-be boundary conflict); the sublattice protocol
+                    # forbids it.
+                    self.anomalies += 1
+                    kernel.deactivate(slot)
+                    continue
+                window.set_species_at_half(vac_half[None, :], tgt_species)
+                window.set_species_at_half(target_half[None, :], self.vacancy_code)
+                self.events += 1
 
-            # Record both sites (global coordinates) for the ghost exchange.
-            for half, species in (
-                (vac_half, tgt_species), (target_half, self.vacancy_code)
-            ):
-                s, padded = window.site_from_half(half[None, :])
-                gcell = window.global_cell_of_padded(padded[0])
-                changed_subs.append(int(s[0]))
-                changed_cells.append(gcell)
-                changed_species.append(int(species))
+                # Record both sites (global coordinates) for the ghost exchange.
+                for half, species in (
+                    (vac_half, tgt_species), (target_half, self.vacancy_code)
+                ):
+                    s, padded = window.site_from_half(half[None, :])
+                    gcell = window.global_cell_of_padded(padded[0])
+                    changed_subs.append(int(s[0]))
+                    changed_cells.append(gcell)
+                    changed_species.append(int(species))
 
-            both = np.stack([vac_half, target_half])
-            self.invalidate_near(both)
-            # Track the moved vacancy; it may have left the sector (or even
-            # the local box — ownership resolves at the post-cycle rescan).
-            new_key = tuple(int(v) for v in target_half)
-            active[vac_idx] = new_key
-            left_box = not bool(window.is_local_half(target_half[None, :])[0])
-            left_sector = sector is not None and (
-                int(self.sectors.sector_of_half(target_half[None, :], ghost)[0])
-                != sector
-            )
-            if left_box or left_sector:
-                active.pop(vac_idx)
+                # Track the moved vacancy; it may have left the sector (or
+                # even the local box — ownership resolves at the post-cycle
+                # rescan).
+                kernel.move(slot, tuple(int(v) for v in target_half))
+                kernel.invalidate_near(np.stack([vac_half, target_half]))
+                left_box = not bool(window.is_local_half(target_half[None, :])[0])
+                left_sector = sector is not None and (
+                    int(
+                        self.sectors.sector_of_half(target_half[None, :], ghost)[0]
+                    )
+                    != sector
+                )
+                if left_box or left_sector:
+                    kernel.deactivate(slot)
+        except NoMovesError:
+            # Numerical edge: the tree clamp landed on a dead row — nothing
+            # selectable remains in this sector.
+            pass
+        finally:
+            kernel.set_active(None)
 
         if changed_cells:
             return SiteUpdates(
@@ -290,6 +327,14 @@ class SublatticeKMC:
         self.cycles: List[CycleStats] = []
 
     # ------------------------------------------------------------------
+    def _kernel_counters(self) -> Dict[str, int]:
+        """Kernel instrumentation summed over all ranks (monotonic)."""
+        totals: Dict[str, int] = {}
+        for rank in self.ranks:
+            for key, value in rank.kernel.counters().items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return totals
+
     def cycle(self) -> CycleStats:
         """One synchronous sublattice cycle: evolve sector, exchange, rotate."""
         sector = self.sector_index % N_SECTORS
@@ -297,6 +342,7 @@ class SublatticeKMC:
         bytes_before = self.world.stats.bytes_sent
         events_before = sum(r.events for r in self.ranks)
         rejected_before = sum(r.rejected for r in self.ranks)
+        kernel_before = self._kernel_counters()
 
         t0 = _time.perf_counter()
         if self.sector_mode == "sublattice":
@@ -319,6 +365,7 @@ class SublatticeKMC:
 
         self.time += self.t_stop
         self.sector_index += 1
+        kernel_after = self._kernel_counters()
         stats = CycleStats(
             sector=sector,
             events=sum(r.events for r in self.ranks) - events_before,
@@ -326,6 +373,17 @@ class SublatticeKMC:
             compute_seconds=compute_seconds,
             comm_messages=self.world.stats.messages_sent - msg_before,
             comm_bytes=self.world.stats.bytes_sent - bytes_before,
+            **{
+                key: kernel_after.get(key, 0) - kernel_before.get(key, 0)
+                for key in (
+                    "cache_hits",
+                    "cache_misses",
+                    "invalidations",
+                    "rates_evaluated",
+                    "selections",
+                    "selection_depth",
+                )
+            },
         )
         self.cycles.append(stats)
         return stats
@@ -333,6 +391,18 @@ class SublatticeKMC:
     def run(self, n_cycles: int) -> List[CycleStats]:
         """Run whole cycles; a sweep of 8 covers every sector once."""
         return [self.cycle() for _ in range(n_cycles)]
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate kernel + protocol counters over all ranks and cycles."""
+        out: Dict[str, float] = dict(self._kernel_counters())
+        seen = out.get("cache_hits", 0) + out.get("cache_misses", 0)
+        out["hit_rate"] = out.get("cache_hits", 0) / seen if seen else 0.0
+        out["events"] = self.total_events
+        out["anomalies"] = self.total_anomalies
+        out["rejected"] = sum(r.rejected for r in self.ranks)
+        out["cycles"] = len(self.cycles)
+        out["time"] = self.time
+        return out
 
     def _count_proximity_violations(self, updates) -> int:
         """Same-cycle changes from different ranks within interaction reach.

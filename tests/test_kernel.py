@@ -1,0 +1,248 @@
+"""Unit tests for the shared event kernel layer (core/kernel.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import (
+    EventKernel,
+    NoMovesError,
+    SimpleRateEntry,
+    SpatialHashIndex,
+    select_direction,
+)
+from repro.core.propensity import FenwickPropensity, LinearPropensity
+
+
+# ----------------------------------------------------------------------
+# select_direction: the zero-rate fallback guard
+# ----------------------------------------------------------------------
+class TestSelectDirection:
+    def test_plain_selection(self):
+        rates = np.array([1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        assert select_direction(rates, 0.5) == 0
+        assert select_direction(rates, 1.5) == 1
+        assert select_direction(rates, 3.5) == 2
+
+    def test_walkdown_skips_trailing_zeros(self):
+        # A boundary remainder lands past the last nonzero direction; the
+        # walk-down must settle on the nearest executable one.
+        rates = np.array([0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        assert select_direction(rates, 2.0) == 2
+
+    def test_all_zero_row_raises_instead_of_impossible_hop(self):
+        # Regression for the seed walk-down, which would return direction 0
+        # with zero rate and execute an impossible (vacancy-vacancy) hop.
+        rates = np.zeros(8)
+        with pytest.raises(NoMovesError):
+            select_direction(rates, 0.0)
+
+    def test_zero_leading_directions_never_selected(self):
+        rates = np.array([0.0, 0.0, 0.0, 4.0, 0.0, 0.0, 0.0, 1.0])
+        for remainder in (0.0, 1e-300, 3.999, 4.0, 4.5, 5.0):
+            direction = select_direction(rates, remainder)
+            assert rates[direction] > 0.0
+
+
+# ----------------------------------------------------------------------
+# PropensityStore: grow + parked slots
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cls", [FenwickPropensity, LinearPropensity])
+class TestStoreGrow:
+    def test_grow_preserves_values(self, cls):
+        store = cls(3)
+        for slot, v in enumerate([1.0, 2.0, 3.0]):
+            store.update(slot, v)
+        store.grow(10)
+        assert store.n_slots == 10
+        assert [store.get(s) for s in range(3)] == [1.0, 2.0, 3.0]
+        assert store.total == pytest.approx(6.0)
+        store.update(9, 4.0)
+        assert store.total == pytest.approx(10.0)
+        slot, rem = store.select(9.5)
+        assert slot == 9
+        assert rem == pytest.approx(3.5)
+
+    def test_grow_cannot_shrink(self, cls):
+        store = cls(4)
+        with pytest.raises(ValueError):
+            store.grow(2)
+
+    def test_select_depth_is_recorded(self, cls):
+        store = cls(8)
+        store.update(2, 5.0)
+        store.select(1.0)
+        assert store.last_select_depth > 0
+
+
+def test_fenwick_grow_matches_rebuilt_tree():
+    rng = np.random.default_rng(3)
+    store = FenwickPropensity(5)
+    values = rng.random(5)
+    for slot, v in enumerate(values):
+        store.update(slot, float(v))
+    store.grow(23)  # beyond the power-of-two capacity: forces a rebuild
+    reference = FenwickPropensity(23)
+    for slot, v in enumerate(values):
+        reference.update(slot, float(v))
+    assert np.array_equal(store.tree, reference.tree)
+    assert store.total == reference.total
+
+
+# ----------------------------------------------------------------------
+# SpatialHashIndex vs brute force
+# ----------------------------------------------------------------------
+def _brute_near(positions, point, reach, periodic):
+    hits = set()
+    for slot, pos in positions.items():
+        delta = (np.asarray(point) - pos).astype(np.float64)
+        if periodic is not None:
+            span = np.asarray(periodic, dtype=np.float64)
+            delta -= span * np.round(delta / span)
+        if np.sqrt(np.sum(delta * delta)) <= reach:
+            hits.add(slot)
+    return hits
+
+
+@pytest.mark.parametrize("periodic", [None, (21, 16, 13)])
+def test_candidates_cover_brute_force(periodic):
+    # Dimensions deliberately not multiples of the bucket size: the wrapped
+    # interval decomposition must still cover every bucket.
+    rng = np.random.default_rng(42)
+    dims = np.array(periodic if periodic is not None else (40, 40, 40))
+    index = SpatialHashIndex(4, periodic_half=periodic)
+    positions = {}
+    for slot in range(60):
+        pos = rng.integers(0, dims, size=3)
+        index.insert(slot, pos)
+        positions[slot] = np.mod(pos, dims) if periodic is not None else pos
+    for _ in range(200):
+        point = rng.integers(-4, dims + 4, size=3)
+        if periodic is None:
+            point = np.clip(point, 0, None)
+        required = _brute_near(positions, np.mod(point, dims) if periodic is not None else point, 4.0, periodic)
+        candidates = index.candidates_near(point, 4)
+        assert required <= candidates, (point, required - candidates)
+
+
+def test_index_move_and_remove():
+    index = SpatialHashIndex(4, periodic_half=(16, 16, 16))
+    index.insert(0, np.array([1, 1, 1]))
+    index.insert(1, np.array([10, 10, 10]))
+    assert 0 in index.candidates_near(np.array([0, 0, 0]), 4)
+    index.move(0, np.array([10, 10, 10]))
+    assert 0 not in index.candidates_near(np.array([0, 0, 0]), 4)
+    assert 0 in index.candidates_near(np.array([9, 9, 9]), 4)
+    index.remove(0)
+    assert 0 not in index.candidates_near(np.array([9, 9, 9]), 4)
+    assert len(index) == 1
+
+
+# ----------------------------------------------------------------------
+# EventKernel: dynamic slots, refresh accounting, invalidation
+# ----------------------------------------------------------------------
+def _toy_kernel(rates_by_key, periodic=None, **kwargs):
+    return EventKernel(
+        lambda key: np.asarray(rates_by_key[key], dtype=np.float64),
+        lambda key: np.asarray(key, dtype=np.int64),
+        threshold=4.0,
+        scale=1.0,
+        periodic_half=periodic,
+        keys=sorted(rates_by_key),
+        **kwargs,
+    )
+
+
+def _row(total):
+    row = np.zeros(8)
+    row[0] = total
+    return row
+
+
+def test_kernel_refresh_and_select():
+    rates = {(0, 0, 0): _row(1.0), (10, 0, 0): _row(3.0)}
+    kernel = _toy_kernel(rates)
+    kernel.refresh()
+    assert kernel.total == pytest.approx(4.0)
+    slot, direction, entry = kernel.select(2.0)
+    assert kernel.key_of(slot) == (10, 0, 0)
+    assert direction == 0
+    assert isinstance(entry, SimpleRateEntry)
+    counters = kernel.counters()
+    assert counters["cache_misses"] == 2
+    assert counters["selections"] == 1
+    assert counters["selection_depth"] > 0
+    assert counters["rates_evaluated"] == 16
+
+
+def test_kernel_dynamic_add_remove_recycles_slots():
+    rates = {(0, 0, 0): _row(1.0), (10, 0, 0): _row(2.0)}
+    kernel = _toy_kernel(rates)
+    kernel.refresh()
+    slot0 = kernel.slot_of((0, 0, 0))
+    kernel.remove(slot0)
+    assert kernel.total == pytest.approx(2.0)
+    rates[(5, 5, 5)] = _row(7.0)
+    new_slot = kernel.add((5, 5, 5))
+    assert new_slot == slot0  # free-list reuse
+    kernel.refresh()
+    assert kernel.total == pytest.approx(9.0)
+    # Growth past the initial capacity re-anchors everything correctly.
+    for i in range(1, 9):
+        rates[(i, 9, 9)] = _row(1.0)
+        kernel.add((i, 9, 9))
+    kernel.refresh()
+    assert kernel.total == pytest.approx(17.0)
+    assert kernel.store.n_slots >= 10
+
+
+def test_kernel_invalidate_near_matches_distance_rule():
+    rates = {(0, 0, 0): _row(1.0), (3, 0, 0): _row(1.0), (9, 0, 0): _row(1.0)}
+    kernel = _toy_kernel(rates)
+    kernel.refresh()
+    n = kernel.invalidate_near(np.array([[1, 0, 0]]))
+    # threshold 4.0: slots at distance 1 and 2 go stale, distance 8 survives
+    assert n == 2
+    stale = {kernel.key_of(s) for s in kernel.cache.stale_slots()}
+    assert stale == {(0, 0, 0), (3, 0, 0)}
+    kernel.refresh()
+    assert kernel.counters()["cache_hits"] >= 1
+    assert kernel.total == pytest.approx(3.0)
+
+
+def test_kernel_periodic_invalidation_wraps():
+    rates = {(0, 0, 0): _row(1.0), (10, 0, 0): _row(1.0)}
+    kernel = _toy_kernel(rates, periodic=(21, 21, 21))
+    kernel.refresh()
+    # 20 is distance 1 from 0 across the wrap (and 10 from the middle slot).
+    n = kernel.invalidate_near(np.array([[20, 0, 0]]))
+    assert n == 1
+    assert {kernel.key_of(s) for s in kernel.cache.stale_slots()} == {(0, 0, 0)}
+
+
+def test_kernel_active_set_restricts_selection():
+    rates = {(0, 0, 0): _row(1.0), (10, 0, 0): _row(3.0)}
+    kernel = _toy_kernel(rates)
+    kernel.refresh()
+    kernel.set_active([kernel.slot_of((0, 0, 0))])
+    kernel.refresh()
+    assert kernel.total == pytest.approx(1.0)
+    slot, _, _ = kernel.select(0.5)
+    assert kernel.key_of(slot) == (0, 0, 0)
+    kernel.deactivate(slot)
+    assert kernel.total == 0.0
+    kernel.set_active(None)
+    assert kernel.total == pytest.approx(4.0)
+
+
+def test_kernel_set_keys_resyncs_index():
+    rates = {(0, 0, 0): _row(1.0), (10, 0, 0): _row(3.0)}
+    kernel = _toy_kernel(rates)
+    kernel.refresh()
+    kernel.set_keys([(10, 0, 0), (0, 0, 0)])  # swapped slot order
+    assert kernel.key_of(0) == (10, 0, 0)
+    kernel.refresh()
+    assert kernel.total == pytest.approx(4.0)
+    kernel.invalidate_near(np.array([[1, 0, 0]]))
+    assert {kernel.key_of(s) for s in kernel.cache.stale_slots()} == {(0, 0, 0)}
