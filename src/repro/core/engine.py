@@ -74,6 +74,20 @@ class SerialAKMCBase:
         ``"full"`` rebuilds features for all 1+8 states (the paper's fast
         feature operator semantics); ``"delta"`` patches only the affected
         sites per direction (equal to ~1e-9 eV, faster in Python).
+    batching:
+        ``"batched"`` evaluates all cache-miss vacancies queued since the
+        last selection through one fused
+        :meth:`~repro.core.vacancy_system.VacancySystemEvaluator.evaluate_batch`
+        pipeline (the paper's big-fusion batching, Sec. 3.4/Fig. 9);
+        ``"scalar"`` keeps the one-VET-per-call miss path.  ``"auto"``
+        (default) batches exactly when the potential declares
+        ``batch_row_invariant`` — per-row rates are then bit-identical to the
+        scalar path, so fixed-seed trajectories do not depend on the mode.
+        The NNP's float32 GEMM results depend on the batch row count, so
+        ``"auto"`` keeps it scalar; force ``"batched"`` for throughput when
+        last-bit trajectory reproducibility across cache configurations is
+        not required.  ``"full"`` evaluation only; the ``"delta"`` ablation
+        always runs scalar.
     """
 
     #: Whether cached vacancy systems may be reused between steps.
@@ -88,13 +102,22 @@ class SerialAKMCBase:
         rng: Optional[np.random.Generator] = None,
         propensity: str = "tree",
         evaluation: str = "full",
+        batching: str = "auto",
         ea0=None,
     ) -> None:
         if abs(lattice.a - tet.geometry.a) > 1e-12:
             raise ValueError("lattice constant mismatch between lattice and TET")
         if evaluation not in ("full", "delta"):
             raise ValueError(f"unknown evaluation mode {evaluation!r}")
+        if batching not in ("auto", "batched", "scalar"):
+            raise ValueError(f"unknown batching mode {batching!r}")
+        if batching == "auto":
+            batching = (
+                "batched" if getattr(potential, "batch_row_invariant", False)
+                else "scalar"
+            )
         self.evaluation = evaluation
+        self.batching = batching
         self.lattice = lattice
         self.potential = potential
         self.tet = tet
@@ -118,6 +141,11 @@ class SerialAKMCBase:
             periodic_half=2 * np.asarray(lattice.shape, dtype=np.int64),
             keys=vac_sites,
             use_cache=self.use_cache,
+            build_entries=(
+                self._build_for_sites
+                if batching == "batched" and evaluation == "full"
+                else None
+            ),
         )
         self.time = 0.0
         self.step_count = 0
@@ -156,6 +184,33 @@ class SerialAKMCBase:
         return CachedVacancySystem(
             site=site, vet_ids=vet_ids, vet=vet, energies=energies, rates=rates
         )
+
+    def _build_for_sites(self, sites) -> List[CachedVacancySystem]:
+        """Batched miss path: all queued vacancy systems in one fused pass.
+
+        VET gathers, feature counts, and the potential evaluation all run
+        once over the stacked ``(B, 9, n_all)`` trial states (see
+        :meth:`VacancySystemEvaluator.evaluate_batch`); the per-slot cache
+        entries hold row views into the shared batch arrays.
+        """
+        ids = np.asarray([int(s) for s in sites], dtype=np.int64)
+        half = self.lattice.half_coords(ids)
+        vet_ids = self.lattice.ids_from_half(
+            half[:, None, :] + self.tet.all_offsets[None, :, :]
+        )
+        vets = self.lattice.occupancy[vet_ids]
+        energies = self.evaluator.evaluate_batch(vets)
+        rates = self.rate_model.rates_batch(energies)
+        return [
+            CachedVacancySystem(
+                site=int(ids[b]),
+                vet_ids=vet_ids[b],
+                vet=vets[b],
+                energies=energies.row(b),
+                rates=rates[b],
+            )
+            for b in range(ids.shape[0])
+        ]
 
     def build_system(self, slot: int) -> CachedVacancySystem:
         """Build the vacancy system of a slot from the current lattice."""

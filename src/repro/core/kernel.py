@@ -115,6 +115,11 @@ class KernelStats:
     selections: int = 0
     selection_depth: int = 0
     rates_evaluated: int = 0
+    #: Batched miss-path accounting: number of ``build_entries`` invocations,
+    #: total rate rows they produced, and the largest single batch.
+    rate_batches: int = 0
+    batched_rows: int = 0
+    max_batch_size: int = 0
 
 
 class SpatialHashIndex:
@@ -229,6 +234,13 @@ class EventKernel:
         driver's live state.  The entry must expose ``rates`` (a ``(8,)``
         per-direction row) and ``total_rate``; a bare ndarray is wrapped in
         :class:`SimpleRateEntry`.
+    build_entries:
+        Optional ``keys -> entries`` callback evaluating a whole batch of
+        stale vacancies through one fused pipeline (the paper's big-fusion
+        batching applied to rate evaluation).  When provided, ``refresh()``
+        queues every stale slot and rebuilds them in a single call instead of
+        looping ``build_entry`` per slot; it must return one entry (or bare
+        rate row) per key, in key order.
     position_of:
         ``key -> (3,)`` integer half-unit coordinates for the spatial index.
     threshold:
@@ -261,8 +273,12 @@ class EventKernel:
         periodic_half: Optional[Sequence[int]] = None,
         keys: Iterable[Hashable] = (),
         use_cache: bool = True,
+        build_entries: Optional[
+            Callable[[Sequence[Hashable]], Sequence[object]]
+        ] = None,
     ) -> None:
         self.build_entry = build_entry
+        self.build_entries = build_entries
         self.position_of = position_of
         self.threshold = float(threshold)
         self.scale = float(scale)
@@ -373,7 +389,11 @@ class EventKernel:
 
         Only stale slots are rebuilt (O(|stale| log n)); fresh active slots
         count as cache hits, exactly as the per-slot bookkeeping of the
-        original serial engine.
+        original serial engine.  Invalidation is deferred by design — slots
+        only queue in the stale set until the next selection — so when a
+        ``build_entries`` callback is configured, the whole queue is
+        re-evaluated through one fused batch call here (post-hop, post-ghost
+        exchange, and cold starts alike).
         """
         if not self.use_cache:
             self.invalidate_all()
@@ -382,14 +402,31 @@ class EventKernel:
             stale = sorted(self._stale)
         else:
             stale = sorted(s for s in self._stale if s in self._active)
-        for slot in stale:
-            entry = self.build_entry(self.cache.key_of(slot))
-            if isinstance(entry, np.ndarray):
-                entry = SimpleRateEntry(entry)
-            self.cache.store(slot, entry)
-            self.store.update(slot, entry.total_rate)
-            self._stale.discard(slot)
-            self.stats.rates_evaluated += int(np.asarray(entry.rates).size)
+        if stale:
+            if self.build_entries is not None:
+                keys = [self.cache.key_of(slot) for slot in stale]
+                entries = list(self.build_entries(keys))
+                if len(entries) != len(stale):
+                    raise RuntimeError(
+                        f"build_entries returned {len(entries)} entries "
+                        f"for {len(stale)} keys"
+                    )
+                self.stats.rate_batches += 1
+                self.stats.batched_rows += len(stale)
+                self.stats.max_batch_size = max(
+                    self.stats.max_batch_size, len(stale)
+                )
+            else:
+                entries = [
+                    self.build_entry(self.cache.key_of(slot)) for slot in stale
+                ]
+            for slot, entry in zip(stale, entries):
+                if isinstance(entry, np.ndarray):
+                    entry = SimpleRateEntry(entry)
+                self.cache.store(slot, entry)
+                self.store.update(slot, entry.total_rate)
+                self._stale.discard(slot)
+                self.stats.rates_evaluated += int(np.asarray(entry.rates).size)
         self.cache.stats.reuses += max(0, len(active) - len(stale))
 
     @property
@@ -459,6 +496,8 @@ class EventKernel:
             "rates_evaluated": self.stats.rates_evaluated,
             "selections": self.stats.selections,
             "selection_depth": self.stats.selection_depth,
+            "rate_batches": self.stats.rate_batches,
+            "batched_rows": self.stats.batched_rows,
         }
 
     def summary(self) -> Dict[str, float]:
@@ -472,6 +511,14 @@ class EventKernel:
         out["mean_selection_depth"] = (
             self.stats.selection_depth / self.stats.selections
             if self.stats.selections
+            else 0.0
+        )
+        out["rate_batches"] = self.stats.rate_batches
+        out["batched_rows"] = self.stats.batched_rows
+        out["max_batch_size"] = self.stats.max_batch_size
+        out["mean_batch_size"] = (
+            self.stats.batched_rows / self.stats.rate_batches
+            if self.stats.rate_batches
             else 0.0
         )
         return out

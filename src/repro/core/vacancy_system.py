@@ -12,13 +12,14 @@ here).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 
 from ..potentials.base import CountsPotential, counts_from_types
 from .tet import TripleEncoding
 
-__all__ = ["StateEnergies", "VacancySystemEvaluator"]
+__all__ = ["StateEnergies", "StateEnergiesBatch", "VacancySystemEvaluator"]
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,40 @@ class StateEnergies:
     valid: np.ndarray
     #: ``(8,)`` species of the atom that would migrate in each direction.
     migrating_species: np.ndarray
+
+
+@dataclass(frozen=True)
+class StateEnergiesBatch:
+    """Energies of ``B`` vacancy systems evaluated through one fused pipeline.
+
+    The arrays carry one row per vacancy; ``row(b)`` views row ``b`` as a
+    scalar :class:`StateEnergies` (no copies), which is what the cache stores.
+    """
+
+    #: ``(B,)`` region energies of the current states (eV).
+    initial: np.ndarray
+    #: ``(B, 8)`` energy differences E_f - E_i per hop direction (eV).
+    delta: np.ndarray
+    #: ``(B, 8)`` False where the 1NN target is itself a vacancy.
+    valid: np.ndarray
+    #: ``(B, 8)`` species of the atom that would migrate per direction.
+    migrating_species: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.initial.shape[0])
+
+    def row(self, b: int) -> StateEnergies:
+        """Scalar view of vacancy ``b`` (arrays are views into the batch)."""
+        return StateEnergies(
+            initial=float(self.initial[b]),
+            delta=self.delta[b],
+            valid=self.valid[b],
+            migrating_species=self.migrating_species[b],
+        )
+
+    def rows(self) -> List[StateEnergies]:
+        """All scalar views, in batch order."""
+        return [self.row(b) for b in range(len(self))]
 
 
 class VacancySystemEvaluator:
@@ -68,6 +103,33 @@ class VacancySystemEvaluator:
             np.flatnonzero((shell_of[0] >= 0) | (shell_of[1 + k] >= 0))
             for k in range(tet.N_DIRECTIONS)
         ]
+        # Precomputed swap scaffolding shared by the scalar and batched trial
+        # builders: the VET index of each direction's 1NN target, and the
+        # trial-state row each direction writes (row 1 + k swaps 0 <-> 1 + k).
+        self._dir_targets = np.array(
+            [tet.direction_vet_index(k) for k in range(tet.N_DIRECTIONS)],
+            dtype=np.intp,
+        )
+        self._dir_rows = np.arange(1, self._n_states, dtype=np.intp)
+        # Per-direction patch tables for the vectorised delta path: local row
+        # indices (within the direction's affected block) and shells touched
+        # when the centre (gains an atom) / the target (loses one) flips.
+        self._delta_center_rows: List[np.ndarray] = []
+        self._delta_center_shells: List[np.ndarray] = []
+        self._delta_target_rows: List[np.ndarray] = []
+        self._delta_target_shells: List[np.ndarray] = []
+        self._delta_pos0 = np.empty(tet.N_DIRECTIONS, dtype=np.intp)
+        self._delta_posm = np.empty(tet.N_DIRECTIONS, dtype=np.intp)
+        for k in range(tet.N_DIRECTIONS):
+            affected = self._affected[k]
+            s0 = shell_of[0, affected]
+            sm = shell_of[self._dir_targets[k], affected]
+            self._delta_center_rows.append(np.flatnonzero(s0 >= 0))
+            self._delta_center_shells.append(s0[s0 >= 0].astype(np.intp))
+            self._delta_target_rows.append(np.flatnonzero(sm >= 0))
+            self._delta_target_shells.append(sm[sm >= 0].astype(np.intp))
+            self._delta_pos0[k] = np.searchsorted(affected, 0)
+            self._delta_posm[k] = np.searchsorted(affected, self._dir_targets[k])
 
     def trial_vets(self, vet: np.ndarray) -> np.ndarray:
         """All trial states as a ``(9, n_all)`` array.
@@ -81,10 +143,29 @@ class VacancySystemEvaluator:
                 f"VET must have shape ({self.tet.n_all},), got {vet.shape}"
             )
         states = np.broadcast_to(vet, (self._n_states, vet.shape[0])).copy()
-        for k in range(self.tet.N_DIRECTIONS):
-            idx = self.tet.direction_vet_index(k)
-            states[1 + k, 0] = vet[idx]
-            states[1 + k, idx] = vet[0]
+        targets = self._dir_targets
+        states[self._dir_rows, 0] = vet[targets]
+        states[self._dir_rows, targets] = vet[0]
+        return states
+
+    def trial_vets_batch(self, vets: np.ndarray) -> np.ndarray:
+        """Trial states of ``B`` vacancy systems as a ``(B, 9, n_all)`` array.
+
+        ``out[b]`` equals ``trial_vets(vets[b])``; the swap scatter runs once
+        over the whole batch (one fancy-indexed write per swap side).
+        """
+        vets = np.asarray(vets)
+        if vets.ndim != 2 or vets.shape[1] != self.tet.n_all:
+            raise ValueError(
+                f"VET batch must have shape (B, {self.tet.n_all}), "
+                f"got {vets.shape}"
+            )
+        states = np.broadcast_to(
+            vets[:, None, :], (vets.shape[0], self._n_states, vets.shape[1])
+        ).copy()
+        targets = self._dir_targets
+        states[:, self._dir_rows, 0] = vets[:, targets]
+        states[:, self._dir_rows, targets] = vets[:, 0, None]
         return states
 
     def region_features_counts(self, states: np.ndarray) -> np.ndarray:
@@ -112,6 +193,8 @@ class VacancySystemEvaluator:
             center_types, counts.reshape(-1, self.tet.n_shells, counts.shape[-1])
         ).reshape(n_states, n_region)
         totals = energies.sum(axis=1, dtype=np.float64)
+        # The caller's VET is never mutated after a build (cache entries are
+        # invalidated, not patched), so the 1NN slice can be shared directly.
         nn_species = vet[1 : 1 + self.tet.N_DIRECTIONS]
         valid = nn_species != self.vacancy_code
         delta = np.where(valid, totals[1:] - totals[0], 0.0)
@@ -119,7 +202,57 @@ class VacancySystemEvaluator:
             initial=float(totals[0]),
             delta=delta,
             valid=valid,
-            migrating_species=nn_species.copy(),
+            migrating_species=nn_species,
+        )
+
+    def evaluate_batch(self, vets: np.ndarray) -> StateEnergiesBatch:
+        """Hop energetics of ``B`` vacancy systems in one fused pipeline.
+
+        This is the paper's big-fusion batching applied to rate evaluation
+        (Sec. 3.4 / Fig. 9): the ``(B, 9, n_all)`` trial states are built in
+        one vectorised pass, *all* ``B * 9 * n_region`` feature counts come
+        from a single :func:`counts_from_types` call, and the potential is
+        invoked exactly once on the stacked site batch — for the NNP that is
+        one batched GEMM stack instead of ``B`` small ones.
+
+        Per-row results are identical to :meth:`evaluate` (bit-identical for
+        the tabulated/EAM potentials, whose per-site energies are row
+        independent; within float32-GEMM reassociation for the NNP).
+        """
+        vets = np.asarray(vets)
+        if vets.ndim != 2 or vets.shape[1] != self.tet.n_all:
+            raise ValueError(
+                f"VET batch must have shape (B, {self.tet.n_all}), "
+                f"got {vets.shape}"
+            )
+        n_batch = vets.shape[0]
+        n_dir = self.tet.N_DIRECTIONS
+        if n_batch == 0:
+            empty = np.zeros((0, n_dir))
+            return StateEnergiesBatch(
+                initial=np.zeros(0),
+                delta=empty,
+                valid=np.zeros((0, n_dir), dtype=bool),
+                migrating_species=np.zeros((0, n_dir), dtype=vets.dtype),
+            )
+        if np.any(vets[:, self.tet.CENTER] != self.vacancy_code):
+            raise ValueError("every VET centre must be a vacancy")
+        n_region = self.tet.n_region
+        states = self.trial_vets_batch(vets).reshape(-1, self.tet.n_all)
+        counts = self.region_features_counts(states)
+        center_types = states[:, :n_region].reshape(-1)
+        energies = self.potential.energies_from_counts(
+            center_types, counts.reshape(-1, self.tet.n_shells, counts.shape[-1])
+        ).reshape(n_batch, self._n_states, n_region)
+        totals = energies.sum(axis=2, dtype=np.float64)
+        nn_species = vets[:, 1 : 1 + n_dir]
+        valid = nn_species != self.vacancy_code
+        delta = np.where(valid, totals[:, 1:] - totals[:, :1], 0.0)
+        return StateEnergiesBatch(
+            initial=totals[:, 0],
+            delta=delta,
+            valid=valid,
+            migrating_species=nn_species,
         )
 
     # ------------------------------------------------------------------
@@ -164,36 +297,62 @@ class VacancySystemEvaluator:
         valid = nn_species != self.vacancy_code
         delta = np.zeros(tet.N_DIRECTIONS, dtype=np.float64)
 
-        for k in range(tet.N_DIRECTIONS):
-            if not valid[k]:
-                continue
-            m = tet.direction_vet_index(k)
-            mig = int(nn_species[k])
-            affected = self._affected[k]
-            counts_f = counts0[affected].copy()
-            center_f = center0[affected].copy()
+        valid_dirs = np.flatnonzero(valid)
+        if valid_dirs.size:
+            # Concatenate every valid direction's affected block and patch the
+            # counts with two fancy-indexed scatters, so the potential runs
+            # once over the whole stack instead of once per direction.  The
+            # patched elements and the per-direction summation slices are the
+            # same as the former per-direction loop, so per-site energies and
+            # deltas are bit-identical to it.
+            blocks = [self._affected[k] for k in valid_dirs]
+            lengths = np.array([b.size for b in blocks], dtype=np.intp)
+            offsets = np.concatenate([[0], np.cumsum(lengths)])
+            cat = np.concatenate(blocks)
+            counts_f = counts0[cat]
+            center_f = center0[cat].copy()
+            mig = nn_species[valid_dirs]
 
-            s0 = self._shell_of_target[0, affected]
-            has0 = s0 >= 0
-            counts_f[np.nonzero(has0)[0], s0[has0], mig] += 1.0
-            sm = self._shell_of_target[m, affected]
-            hasm = sm >= 0
-            counts_f[np.nonzero(hasm)[0], sm[hasm], mig] -= 1.0
+            center_rows = np.concatenate(
+                [off + self._delta_center_rows[k]
+                 for off, k in zip(offsets, valid_dirs)]
+            )
+            center_shells = np.concatenate(
+                [self._delta_center_shells[k] for k in valid_dirs]
+            )
+            center_species = np.repeat(
+                mig, [self._delta_center_rows[k].size for k in valid_dirs]
+            )
+            counts_f[center_rows, center_shells, center_species] += 1.0
+
+            target_rows = np.concatenate(
+                [off + self._delta_target_rows[k]
+                 for off, k in zip(offsets, valid_dirs)]
+            )
+            target_shells = np.concatenate(
+                [self._delta_target_shells[k] for k in valid_dirs]
+            )
+            target_species = np.repeat(
+                mig, [self._delta_target_rows[k].size for k in valid_dirs]
+            )
+            counts_f[target_rows, target_shells, target_species] -= 1.0
 
             # The two swap sites change their own species.
-            pos0 = np.searchsorted(affected, 0)
-            center_f[pos0] = mig
-            posm = np.searchsorted(affected, m)
-            center_f[posm] = self.vacancy_code
+            center_f[offsets[:-1] + self._delta_pos0[valid_dirs]] = mig
+            center_f[offsets[:-1] + self._delta_posm[valid_dirs]] = (
+                self.vacancy_code
+            )
 
             e_f = self.potential.energies_from_counts(center_f, counts_f)
-            delta[k] = float(
-                np.sum(e_f, dtype=np.float64)
-                - np.sum(e0[affected], dtype=np.float64)
-            )
+            for i, k in enumerate(valid_dirs):
+                lo, hi = offsets[i], offsets[i + 1]
+                delta[k] = float(
+                    np.sum(e_f[lo:hi], dtype=np.float64)
+                    - np.sum(e0[blocks[i]], dtype=np.float64)
+                )
         return StateEnergies(
             initial=initial,
             delta=delta,
             valid=valid,
-            migrating_species=nn_species.copy(),
+            migrating_species=nn_species,
         )

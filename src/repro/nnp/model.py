@@ -38,6 +38,13 @@ class NNPotential(CountsPotential):
         Cutoff radius in Angstrom (for the continuous path).
     """
 
+    #: float32 GEMMs through BLAS pick blocking (and thus accumulation
+    #: order) based on the row count, so per-row energies can differ in the
+    #: last bits between batch sizes.  The engines therefore keep the scalar
+    #: miss path for the NNP unless batching is forced — the Fig. 8
+    #: cache-equivalence guarantee stays bitwise.
+    batch_row_invariant = False
+
     def __init__(
         self,
         table: FeatureTable,
@@ -91,6 +98,28 @@ class NNPotential(CountsPotential):
         center_types = np.asarray(center_types)
         feats = self.table.features_from_counts(counts)
         return self._atom_energies(feats, center_types)
+
+    def energies_from_counts_fused(
+        self, center_types: np.ndarray, counts: np.ndarray, spec=None, ledger=None
+    ) -> np.ndarray:
+        """Big-fusion variant of :meth:`energies_from_counts`.
+
+        Routes the atomistic networks through
+        :meth:`~repro.nnp.network.ElementNetworks.forward_big_fusion`, so an
+        optional :class:`~repro.sunway.costmodel.CostLedger` receives the
+        modeled Sunway cost of the whole batched evaluation.  Results agree
+        with the plain path to float32 GEMM blocking.
+        """
+        center_types = np.asarray(center_types)
+        feats = self.table.features_from_counts(counts)
+        is_atom = center_types < self.n_elements
+        t = np.where(is_atom, center_types, 0)
+        norm = self.normalise(feats)
+        net = self.networks.forward_big_fusion(
+            norm, t, spec=spec, ledger=ledger
+        ).astype(np.float64)
+        energies = self.reference_energies[t] + self.energy_scale * net
+        return np.where(is_atom, energies, 0.0)
 
     def _atom_energies(self, features: np.ndarray, species: np.ndarray) -> np.ndarray:
         """Per-atom energies; vacancies get exactly 0."""

@@ -230,6 +230,10 @@ class ElementNetworks:
         self.n_elements = n_elements
         self.channels = tuple(int(c) for c in channels)
         self.dtype = np.dtype(dtype)
+        # Lazily-built per-element big-fusion executors, keyed by machine
+        # spec.  They alias the live weight arrays (set_parameters copies in
+        # place), so no invalidation on training updates is needed.
+        self._fusers: Dict[Tuple[int, int], object] = {}
 
     def forward(self, features: np.ndarray, species: np.ndarray) -> np.ndarray:
         """Per-atom energies: each atom is routed to its element's network."""
@@ -240,6 +244,49 @@ class ElementNetworks:
             mask = species == e
             if np.any(mask):
                 energies[mask] = net.forward(features[mask])
+        return energies
+
+    def forward_big_fusion(
+        self,
+        features: np.ndarray,
+        species: np.ndarray,
+        spec=None,
+        ledger=None,
+    ):
+        """Per-atom energies through the whole-network fused operator.
+
+        Same element routing as :meth:`forward`, but each subnetwork executes
+        via a cached :class:`~repro.operators.bigfusion.BigFusionOperator`
+        (paper Sec. 3.5): the atom batch stays LDM-resident through all
+        layers, and — when a ``ledger`` is given — DMA/RMA/SIMD costs are
+        charged per Algorithm 1.  The arithmetic is the same fused-layer
+        chain as :meth:`forward`, so results agree to float32 GEMM blocking.
+
+        Parameters
+        ----------
+        spec:
+            Machine model (defaults to the SW26010-pro).
+        ledger:
+            Optional :class:`~repro.sunway.costmodel.CostLedger` accumulating
+            the modeled cost of every per-element launch.
+        """
+        from ..operators.bigfusion import BigFusionOperator
+        from ..sunway.spec import SW26010_PRO
+
+        spec = SW26010_PRO if spec is None else spec
+        features = np.asarray(features, dtype=self.dtype)
+        species = np.asarray(species)
+        energies = np.zeros(features.shape[0], dtype=self.dtype)
+        for e, net in self.nets.items():
+            mask = species == e
+            if not np.any(mask):
+                continue
+            key = (e, id(spec))
+            fuser = self._fusers.get(key)
+            if fuser is None:
+                fuser = BigFusionOperator(net.weights, net.biases, spec=spec)
+                self._fusers[key] = fuser
+            energies[mask] = fuser(features[mask], ledger=ledger)[:, 0]
         return energies
 
     def input_gradient(self, features: np.ndarray, species: np.ndarray) -> np.ndarray:

@@ -62,6 +62,9 @@ class CycleStats:
     rates_evaluated: int = 0
     selections: int = 0
     selection_depth: int = 0
+    #: Batched miss-path deltas: fused build calls and rows they produced.
+    rate_batches: int = 0
+    batched_rows: int = 0
 
 
 class RankState:
@@ -99,6 +102,13 @@ class RankState:
             propensity="tree",
             periodic_half=None,
             keys=[tuple(int(v) for v in h) for h in self.vacancies],
+            # Batched miss path only when per-row results are guaranteed
+            # independent of the batch shape (see CountsPotential).
+            build_entries=(
+                self._build_rates_batch
+                if getattr(evaluator.potential, "batch_row_invariant", False)
+                else None
+            ),
         )
         self.events = 0
         self.rejected = 0
@@ -133,6 +143,21 @@ class RankState:
         vet = self.window.species_at_half(vet_half)
         energies = self.evaluator.evaluate(vet)
         return self.rate_model.rates(energies)
+
+    def _build_rates_batch(self, keys) -> np.ndarray:
+        """Rate rows of a whole stale batch through one fused pipeline.
+
+        Used by the kernel whenever more than zero slots queued up — after a
+        hop, after a ghost synchronisation, and for the whole sector
+        population at the post-rescan cold start — so every VET gather,
+        feature build, and potential call runs once per batch instead of once
+        per vacancy.
+        """
+        half = np.asarray(keys, dtype=np.int64)
+        vet_half = half[:, None, :] + self.tet.all_offsets[None, :, :]
+        vets = self.window.species_at_half(vet_half)
+        energies = self.evaluator.evaluate_batch(vets)
+        return self.rate_model.rates_batch(energies)
 
     def invalidate_near(self, changed_half: np.ndarray) -> None:
         """Drop cached rates of vacancies near changed sites (Sec. 3.2)."""
@@ -382,6 +407,8 @@ class SublatticeKMC:
                     "rates_evaluated",
                     "selections",
                     "selection_depth",
+                    "rate_batches",
+                    "batched_rows",
                 )
             },
         )
@@ -397,6 +424,14 @@ class SublatticeKMC:
         out: Dict[str, float] = dict(self._kernel_counters())
         seen = out.get("cache_hits", 0) + out.get("cache_misses", 0)
         out["hit_rate"] = out.get("cache_hits", 0) / seen if seen else 0.0
+        out["mean_batch_size"] = (
+            out.get("batched_rows", 0) / out["rate_batches"]
+            if out.get("rate_batches", 0)
+            else 0.0
+        )
+        out["max_batch_size"] = max(
+            (r.kernel.stats.max_batch_size for r in self.ranks), default=0
+        )
         out["events"] = self.total_events
         out["anomalies"] = self.total_anomalies
         out["rejected"] = sum(r.rejected for r in self.ranks)

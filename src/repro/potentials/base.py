@@ -37,6 +37,17 @@ class CountsPotential(ABC):
     #: Number of chemical elements (override for multicomponent systems).
     n_elements: int = N_ELEMENTS
 
+    #: Whether :meth:`energies_from_counts` is *row-invariant*: row ``i`` of
+    #: the result is bit-identical no matter which other rows share the call.
+    #: Exact counts-tabulated potentials qualify (each row is an independent
+    #: einsum/table reduction), so the engines may fuse cache misses into one
+    #: batched evaluation without perturbing fixed-seed trajectories.
+    #: Implementations whose per-row result depends on the batch shape (e.g.
+    #: float32 GEMM through BLAS, whose blocking changes with the row count)
+    #: must set this to ``False``; the engines then keep the scalar miss path
+    #: unless batching is forced.
+    batch_row_invariant: bool = True
+
     @property
     def vacancy_code(self) -> int:
         """The species code marking vacant sites (``n_elements``)."""
@@ -96,14 +107,14 @@ def counts_from_types(
     flat_types = neighbor_types.reshape(-1, n_local)
     n_rows = flat_types.shape[0]
 
-    shell = np.broadcast_to(neighbor_shell, (n_rows, n_local))
-    valid = flat_types < n_elements
-    row = np.broadcast_to(np.arange(n_rows)[:, None], (n_rows, n_local))
-    # Flattened bin index: ((row * n_shells) + shell) * n_elements + type.
-    bins = (row[valid] * n_shells + shell[valid]) * n_elements + flat_types[valid]
-    counts = np.bincount(bins, minlength=n_rows * n_shells * n_elements)
-    return (
-        counts.reshape(n_rows, n_shells, n_elements)
-        .reshape(*lead_shape, n_shells, n_elements)
-        .astype(np.float32)
-    )
+    # One sgemm per element code: (types == e) @ shell_onehot sums the
+    # matching neighbours per shell.  Every partial sum is an integer
+    # <= n_local, exactly representable in float32, so the result is exact
+    # (and independent of BLAS blocking / row count) — vacancies and any
+    # out-of-range code simply never compare equal.
+    shell_onehot = np.zeros((n_local, n_shells), dtype=np.float32)
+    shell_onehot[np.arange(n_local), np.asarray(neighbor_shell)] = 1.0
+    counts = np.empty((n_rows, n_shells, n_elements), dtype=np.float32)
+    for e in range(n_elements):
+        counts[:, :, e] = (flat_types == e).astype(np.float32) @ shell_onehot
+    return counts.reshape(*lead_shape, n_shells, n_elements)

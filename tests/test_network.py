@@ -137,3 +137,41 @@ class TestElementNetworks:
         out_fe = nets.nets[0].forward(x)
         out_cu = nets.nets[1].forward(x)
         assert not np.allclose(out_fe, out_cu)
+
+
+class TestForwardBigFusion:
+    def test_matches_plain_forward(self):
+        rng = np.random.default_rng(12)
+        nets = ElementNetworks((8, 16, 1), rng)
+        x = rng.standard_normal((40, 8)).astype(np.float32)
+        species = rng.integers(0, 2, size=40)
+        fused = nets.forward_big_fusion(x, species)
+        assert np.allclose(fused, nets.forward(x, species), atol=1e-6)
+
+    def test_charges_ledger_and_caches_fusers(self):
+        from repro.sunway import SW26010_PRO, CostLedger
+
+        rng = np.random.default_rng(13)
+        nets = ElementNetworks((8, 16, 1), rng)
+        x = rng.standard_normal((20, 8)).astype(np.float32)
+        species = rng.integers(0, 2, size=20)
+        ledger = CostLedger(SW26010_PRO)
+        nets.forward_big_fusion(x, species, ledger=ledger)
+        assert ledger.simd_flops > 0
+        assert ledger.dma_bytes > 0
+        assert ledger.rma_bytes > 0
+        assert len(nets._fusers) == 2  # one cached operator per element
+        nets.forward_big_fusion(x, species)
+        assert len(nets._fusers) == 2
+
+    def test_tracks_in_place_weight_updates(self):
+        rng = np.random.default_rng(14)
+        nets = ElementNetworks((8, 16, 1), rng)
+        x = rng.standard_normal((10, 8)).astype(np.float32)
+        species = np.zeros(10, dtype=np.int64)
+        before = nets.forward_big_fusion(x, species).copy()
+        net = nets.nets[0]
+        net.set_parameters([p * 0.5 for p in net.get_parameters()])
+        after = nets.forward_big_fusion(x, species)
+        assert not np.allclose(before, after)
+        assert np.allclose(after, nets.forward(x, species), atol=1e-6)
