@@ -1,6 +1,6 @@
 # Convenience targets for the TensorKMC reproduction.
 
-.PHONY: install test bench bench-smoke check examples snapshot
+.PHONY: install test bench bench-smoke fault-suite check examples snapshot
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,10 +16,18 @@ bench:
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_kernel_smoke.py
 
-# What CI runs: tier-1 tests + the kernel smoke benchmark.
+# Resilience suite: parallel checkpoint/restart + comm fault injection
+# tests, then the checkpoint smoke benchmark (save/load cost + bit-exact
+# resume, writes BENCH_checkpoint.json).
+fault-suite:
+	PYTHONPATH=src python -m pytest -x -q tests/test_parallel_checkpoint.py tests/test_fault_injection.py
+	PYTHONPATH=src python benchmarks/bench_checkpoint_smoke.py
+
+# What CI runs: tier-1 tests + the kernel smoke benchmark + the fault suite.
 check:
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) bench-smoke
+	$(MAKE) fault-suite
 
 examples:
 	python examples/quickstart.py

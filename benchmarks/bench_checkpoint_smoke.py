@@ -1,0 +1,134 @@
+"""Checkpoint smoke benchmark: save/load cost and bit-exact resume.
+
+Times one parallel checkpoint save and load on a 4-rank sublattice world and
+asserts the restored world continues bit-identically to the uninterrupted
+run — the invariant that makes rollback-and-replay recovery sound.  A
+checkpoint that takes a noticeable fraction of a cycle would change the
+``checkpoint_every`` economics of the resilient driver, so the measured
+cost relative to one cycle lands in ``BENCH_checkpoint.json`` at the repo
+root for ``make fault-suite`` to surface.
+
+Runs standalone (``python benchmarks/bench_checkpoint_smoke.py``) and under
+pytest (``pytest benchmarks/bench_checkpoint_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.tet import TripleEncoding
+from repro.io.checkpoint import load_parallel_checkpoint, save_parallel_checkpoint
+from repro.lattice.occupancy import LatticeState
+from repro.parallel.engine import SublatticeKMC
+from repro.potentials.eam import EAMPotential
+
+N_RANKS = 4
+WARMUP_CYCLES = 6
+RESUME_CYCLES = 6
+REPEATS = 3
+#: A cycle-boundary checkpoint must stay cheap next to the cycle it guards
+#: (loose smoke bound; shared runners throttle unpredictably).
+MAX_SAVE_PER_CYCLE = 10.0
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_checkpoint.json"
+
+
+def _sim(seed: int = 7) -> SublatticeKMC:
+    tet = TripleEncoding(rcut=2.87)
+    potential = EAMPotential(tet.shell_distances)
+    lattice = LatticeState((16, 16, 16))
+    lattice.randomize_alloy(
+        np.random.default_rng(seed), cu_fraction=0.05, vacancy_fraction=0.01
+    )
+    return SublatticeKMC(
+        lattice, potential, tet,
+        n_ranks=N_RANKS, temperature=1200.0, t_stop=5e-8, seed=seed,
+    )
+
+
+def run_smoke() -> dict:
+    tet = TripleEncoding(rcut=2.87)
+    potential = EAMPotential(tet.shell_distances)
+
+    reference = _sim()
+    reference.run(WARMUP_CYCLES + RESUME_CYCLES)
+
+    sim = _sim()
+    t0 = time.perf_counter()
+    sim.run(WARMUP_CYCLES)
+    cycle_seconds = (time.perf_counter() - t0) / WARMUP_CYCLES
+
+    save_best = load_best = np.inf
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "ck.npz")
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            save_parallel_checkpoint(path, sim)
+            save_best = min(save_best, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            resumed = load_parallel_checkpoint(path, potential, tet=tet)
+            load_best = min(load_best, time.perf_counter() - t0)
+        archive_bytes = Path(path).stat().st_size
+        resumed.run(RESUME_CYCLES)
+
+    bit_exact = bool(
+        np.array_equal(
+            resumed.gather_global().occupancy,
+            reference.gather_global().occupancy,
+        )
+        and resumed.time == reference.time
+        and [c.events for c in resumed.cycles]
+        == [c.events for c in reference.cycles]
+    )
+    save_per_cycle = save_best / max(cycle_seconds, 1e-12)
+    report = {
+        "benchmark": "checkpoint_smoke",
+        "n_ranks": N_RANKS,
+        "cycles_before_save": WARMUP_CYCLES,
+        "cycles_after_load": RESUME_CYCLES,
+        "archive_bytes": int(archive_bytes),
+        "cycle_seconds": cycle_seconds,
+        "save_seconds": save_best,
+        "load_seconds": load_best,
+        "save_per_cycle": save_per_cycle,
+        "max_save_per_cycle": MAX_SAVE_PER_CYCLE,
+        "bit_exact_resume": bit_exact,
+        "ok": bit_exact and save_per_cycle < MAX_SAVE_PER_CYCLE,
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_checkpoint_roundtrip_is_bit_exact_and_cheap():
+    report = run_smoke()
+    assert report["bit_exact_resume"], report
+    assert report["save_per_cycle"] < MAX_SAVE_PER_CYCLE, report
+
+
+def main() -> int:
+    report = run_smoke()
+    print(json.dumps(report, indent=2))
+    print(
+        f"save {report['save_seconds'] * 1e3:.1f} ms / "
+        f"load {report['load_seconds'] * 1e3:.1f} ms / "
+        f"cycle {report['cycle_seconds'] * 1e3:.1f} ms -> "
+        f"save cost {report['save_per_cycle']:.2f} cycles "
+        f"(max {MAX_SAVE_PER_CYCLE}); archive {report['archive_bytes']} B"
+    )
+    if not report["ok"]:
+        if not report["bit_exact_resume"]:
+            print("FAIL: resumed trajectory diverged from the reference")
+        else:
+            print("FAIL: checkpoint save is too expensive per cycle")
+        return 1
+    print(f"OK — report written to {REPORT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

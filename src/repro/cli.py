@@ -1,9 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the daily workflow:
+Four subcommands cover the daily workflow:
 
 * ``run``      — serial TensorKMC simulation of an Fe-Cu alloy;
-* ``parallel`` — the same workload on the synchronous sublattice driver;
+* ``parallel`` — the same workload on the synchronous sublattice driver,
+  optionally checkpointing at cycle boundaries and recovering from an
+  injected rank failure (``--kill-rank``);
+* ``resume``   — continue a serial or parallel checkpoint (auto-detected);
 * ``train``    — fit an NNP to oracle-labelled structures and save it.
 
 Every command prints a short machine-parseable summary ("key = value" lines)
@@ -57,6 +60,31 @@ def build_parser() -> argparse.ArgumentParser:
     par.add_argument("--ranks", type=int, default=2)
     par.add_argument("--cycles", type=int, default=16)
     par.add_argument("--t-stop", type=float, default=2e-10)
+    par.add_argument("--potential", type=str, default=None,
+                     help="path to a trained NNPotential .npz (default: EAM)")
+    par.add_argument("--restart", type=str, default=None,
+                     help="resume bit-exactly from a parallel checkpoint .npz")
+    par.add_argument("--checkpoint", type=str, default=None,
+                     help="checkpoint path (written at cycle boundaries)")
+    par.add_argument("--checkpoint-every", type=int, default=4,
+                     help="cycles between checkpoints (with --checkpoint)")
+    par.add_argument("--kill-rank", type=int, default=None,
+                     help="inject a rank failure (requires --checkpoint)")
+    par.add_argument("--kill-cycle", type=int, default=None,
+                     help="cycle at which --kill-rank dies (default 0)")
+
+    res = sub.add_parser(
+        "resume", help="continue a serial or parallel checkpoint"
+    )
+    res.add_argument("path", help="checkpoint .npz (kind is auto-detected)")
+    res.add_argument("--steps", type=int, default=1000,
+                     help="serial checkpoints: KMC events to run")
+    res.add_argument("--cycles", type=int, default=16,
+                     help="parallel checkpoints: sublattice cycles to run")
+    res.add_argument("--potential", type=str, default=None,
+                     help="path to a trained NNPotential .npz (default: EAM)")
+    res.add_argument("--checkpoint", type=str, default=None,
+                     help="write a fresh checkpoint when done")
 
     train = sub.add_parser("train", help="train an NNP on oracle data")
     train.add_argument("--rcut", type=float, default=6.5)
@@ -147,30 +175,100 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_parallel(args) -> int:
-    from .parallel import SublatticeKMC
+def _tet_from_archive(path: str) -> TripleEncoding:
+    """Rebuild the TET from the cutoff stored in a checkpoint archive."""
+    with np.load(path, allow_pickle=False) as data:
+        return TripleEncoding(rcut=float(data["rcut"][0]), a=float(data["a"][0]))
 
-    tet = TripleEncoding(rcut=args.rcut)
-    lattice = _make_lattice(args)
-    potential = _load_potential(args, tet)
-    before = lattice.species_counts().copy()
-    sim = SublatticeKMC(
-        lattice, potential, tet, n_ranks=args.ranks,
-        temperature=args.temperature, t_stop=args.t_stop, seed=args.seed,
-    )
-    sim.run(args.cycles)
+
+def _cmd_parallel(args) -> int:
+    from .parallel import FaultEvent, FaultPlan, SublatticeKMC, run_resilient
+
+    kill = args.kill_rank is not None
+    if kill and not args.checkpoint:
+        raise SystemExit("error: --kill-rank recovery requires --checkpoint")
+    plan = None
+    if kill:
+        plan = FaultPlan(events=[
+            FaultEvent("kill", cycle=args.kill_cycle or 0, rank=args.kill_rank)
+        ])
+    if args.restart:
+        from .io.checkpoint import load_parallel_checkpoint
+
+        tet = _tet_from_archive(args.restart)
+        potential = _load_potential(args, tet)
+        sim = load_parallel_checkpoint(
+            args.restart, potential, tet=tet, fault_plan=plan
+        )
+        tet = sim.tet
+    else:
+        tet = TripleEncoding(rcut=args.rcut)
+        lattice = _make_lattice(args)
+        potential = _load_potential(args, tet)
+        sim = SublatticeKMC(
+            lattice, potential, tet, n_ranks=args.ranks,
+            temperature=args.temperature, t_stop=args.t_stop, seed=args.seed,
+            fault_plan=plan,
+        )
+    before = sim.gather_global().species_counts().copy()
+    recoveries = 0
+    if args.checkpoint:
+        sim, recoveries = run_resilient(
+            sim, args.cycles, args.checkpoint, potential, tet=tet,
+            checkpoint_every=args.checkpoint_every,
+        )
+    else:
+        sim.run(args.cycles)
     conserved = bool(
         np.array_equal(sim.gather_global().species_counts(), before)
     )
     print(f"ranks = {sim.decomposition.n_ranks}")
     print(f"grid = {sim.decomposition.grid}")
+    print(f"cycles = {len(sim.cycles)}")
     print(f"events = {sim.total_events}")
     print(f"time_s = {sim.time:.6e}")
     print(f"messages = {sim.world.stats.messages_sent}")
     print(f"bytes = {sim.world.stats.bytes_sent}")
+    if args.checkpoint:
+        print(f"checkpoint = {args.checkpoint}")
+        print(f"recoveries = {recoveries}")
     print(f"species_conserved = {conserved}")
     print(f"ghosts_consistent = {sim.check_ghost_consistency()}")
     return 0 if conserved else 1
+
+
+def _cmd_resume(args) -> int:
+    from .io.checkpoint import (
+        checkpoint_kind,
+        load_checkpoint,
+        load_parallel_checkpoint,
+        save_checkpoint,
+        save_parallel_checkpoint,
+    )
+
+    tet = _tet_from_archive(args.path)
+    potential = _load_potential(args, tet)
+    kind = checkpoint_kind(args.path)
+    print(f"kind = {kind}")
+    if kind == "serial":
+        engine = load_checkpoint(args.path, potential, tet=tet)
+        engine.run(n_steps=args.steps)
+        print(f"events = {engine.step_count}")
+        print(f"time_s = {engine.time:.6e}")
+        if args.checkpoint:
+            save_checkpoint(args.checkpoint, engine)
+            print(f"checkpoint = {args.checkpoint}")
+    else:
+        sim = load_parallel_checkpoint(args.path, potential, tet=tet)
+        sim.run(args.cycles)
+        print(f"cycles = {len(sim.cycles)}")
+        print(f"events = {sim.total_events}")
+        print(f"time_s = {sim.time:.6e}")
+        print(f"ghosts_consistent = {sim.check_ghost_consistency()}")
+        if args.checkpoint:
+            save_parallel_checkpoint(args.checkpoint, sim)
+            print(f"checkpoint = {args.checkpoint}")
+    return 0
 
 
 def _cmd_train(args) -> int:
@@ -220,6 +318,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "parallel":
         return _cmd_parallel(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     if args.command == "train":
         return _cmd_train(args)
     raise AssertionError(f"unhandled command {args.command!r}")

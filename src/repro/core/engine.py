@@ -295,13 +295,19 @@ class SerialAKMCBase:
         self.kernel.refresh()
         return self.kernel.total
 
-    def restore_slot_order(self, sites) -> None:
+    def restore_slot_order(self, sites, free_order=None) -> None:
         """Restore a checkpointed slot -> site registry.
 
         The slot order encodes event identity in a resumed trajectory; this
         also resyncs the kernel's spatial index and marks everything stale.
+        ``None`` entries in ``sites`` are parked (freed) slots and
+        ``free_order`` restores their recycling stack order, so a run that
+        annihilated/created vacancies resumes bit-exactly.
         """
-        self.kernel.set_keys(int(s) for s in sites)
+        self.kernel.set_keys(
+            (None if s is None else int(s) for s in sites),
+            free_order=free_order,
+        )
 
     def summary(self) -> Dict[str, float]:
         """Merged engine + kernel instrumentation counters."""

@@ -335,9 +335,17 @@ class EventKernel:
         self.index.move(slot, self.position_of(new_key))
         self._stale.add(slot)
 
-    def set_keys(self, keys: Iterable[Hashable]) -> None:
-        """Reset the registry order (checkpoint restore); all slots go stale."""
-        self.cache.set_keys(keys)
+    def set_keys(
+        self,
+        keys: Iterable[Hashable],
+        free_order: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Reset the registry order (checkpoint restore); all slots go stale.
+
+        ``None`` keys mark parked slots; ``free_order`` restores the free
+        list's stack order (see :meth:`VacancyCache.set_keys`).
+        """
+        self.cache.set_keys(keys, free_order=free_order)
         self.store.resize(self.cache.n_slots)
         self.index.clear()
         self._active = None

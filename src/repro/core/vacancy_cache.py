@@ -104,12 +104,19 @@ class VacancyCache:
     def sites(self, keys: Iterable[Hashable]) -> None:
         self.set_keys(keys)
 
-    def set_keys(self, keys: Iterable[Hashable]) -> None:
+    def set_keys(
+        self,
+        keys: Iterable[Hashable],
+        free_order: Optional[Iterable[int]] = None,
+    ) -> None:
         """Reset the registry to a new slot order (all entries dropped).
 
         Used by checkpoint restore, where the stored slot order encodes event
-        identity.  Engines must re-sync their spatial index afterwards
-        (``EventKernel.set_keys`` does both).
+        identity.  ``None`` keys mark parked (free) slots; ``free_order``
+        restores the free-list *stack order* (``add_slot`` pops from the
+        end), which a bit-exact resume needs whenever slots were freed and
+        re-used before the checkpoint.  Engines must re-sync their spatial
+        index afterwards (``EventKernel.set_keys`` does both).
         """
         self._keys = [
             None if k is None else _canonical_key(k) for k in keys
@@ -118,12 +125,30 @@ class VacancyCache:
         self._slot_of = {
             k: i for i, k in enumerate(self._keys) if k is not None
         }
-        self._free = [i for i, k in enumerate(self._keys) if k is None]
+        free = [i for i, k in enumerate(self._keys) if k is None]
+        if free_order is not None:
+            order = [int(s) for s in free_order]
+            if sorted(order) != sorted(free):
+                raise ValueError(
+                    f"free_order {order} is not a permutation of the free "
+                    f"slots {sorted(free)}"
+                )
+            free = order
+        self._free = free
 
     @property
     def n_slots(self) -> int:
         """Slot capacity, including parked (free) slots."""
         return len(self._keys)
+
+    @property
+    def free_slots(self) -> List[int]:
+        """The free-list in stack order (``add_slot`` pops from the end).
+
+        Serialised by checkpoints: after slot churn the recycling order is
+        part of the trajectory-determining state.
+        """
+        return list(self._free)
 
     @property
     def n_live(self) -> int:

@@ -1,14 +1,23 @@
 """Snapshot persistence and experiment reporting."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (
+    checkpoint_kind,
+    load_checkpoint,
+    load_parallel_checkpoint,
+    save_checkpoint,
+    save_parallel_checkpoint,
+)
 from .events import load_events, replay_events, save_events
 from .report import ExperimentReport, ReportRow
 from .snapshots import load_lattice, save_lattice
 from .xyz import write_xyz, write_xyz_trajectory
 
 __all__ = [
+    "checkpoint_kind",
     "load_checkpoint",
+    "load_parallel_checkpoint",
     "save_checkpoint",
+    "save_parallel_checkpoint",
     "load_events",
     "replay_events",
     "save_events",

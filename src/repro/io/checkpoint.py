@@ -6,6 +6,22 @@ random generator's internal state — so a restarted run produces the same
 trajectory as an uninterrupted one (asserted in the tests).  Potentials and
 TET tables are deterministic functions of their inputs and are reconstructed
 by the caller, not serialised.
+
+Two archive kinds share the ``.npz`` container (a ``kind`` field tells them
+apart; archives written before the field existed are serial):
+
+* **serial** — one :class:`~repro.core.engine.TensorKMCEngine`: occupancy,
+  clock, RNG state, evaluation/batching/propensity modes, and the kernel
+  slot registry *including* parked slots and the free-list stack order
+  (after vacancy annihilation/creation the recycling order is
+  trajectory-determining state);
+* **parallel** — one :class:`~repro.parallel.engine.SublatticeKMC` world at
+  a cycle boundary: the gathered global occupancy plus, per rank, the full
+  padded window (local + ghost regions), the rank's RNG stream, its kernel
+  slot order and free list, and its event counters — together with the
+  sector cursor, accumulated :class:`~repro.parallel.comm.CommStats`, and
+  the per-cycle statistics history.  Restore rebuilds a world whose
+  continuation is bit-identical to the uninterrupted run.
 """
 
 from __future__ import annotations
@@ -19,15 +35,43 @@ from ..core.tet import TripleEncoding
 from ..lattice.occupancy import LatticeState
 from ..potentials.base import CountsPotential
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_parallel_checkpoint",
+    "load_parallel_checkpoint",
+    "checkpoint_kind",
+]
+
+#: Sentinel for a parked (free) slot in serialised registries.
+_FREE_SLOT = -1
 
 
+def checkpoint_kind(path: str) -> str:
+    """``"serial"`` or ``"parallel"`` (archives predating the field: serial)."""
+    with np.load(path, allow_pickle=False) as data:
+        if "kind" in data.files:
+            return str(data["kind"][0])
+    return "serial"
+
+
+# ----------------------------------------------------------------------
+# Serial engines
+# ----------------------------------------------------------------------
 def save_checkpoint(path: str, engine: SerialAKMCBase) -> None:
     """Serialise a serial engine's full dynamic state to ``path`` (.npz)."""
     rng_state = json.dumps(engine.rng.bit_generator.state)
     store_kind = type(engine.store).__name__
+    # Parked slots (freed by vacancy annihilation) serialise as -1; the
+    # free-list stack order is stored separately so recycling resumes in
+    # the same order.
+    slots = np.array(
+        [_FREE_SLOT if s is None else int(s) for s in engine.cache.sites],
+        dtype=np.int64,
+    )
     np.savez_compressed(
         path,
+        kind=np.array(["serial"]),
         occupancy=engine.lattice.occupancy,
         shape=np.array(engine.lattice.shape, dtype=np.int64),
         a=np.array([engine.lattice.a]),
@@ -36,11 +80,13 @@ def save_checkpoint(path: str, engine: SerialAKMCBase) -> None:
         temperature=np.array([engine.rate_model.temperature]),
         rcut=np.array([engine.tet.rcut]),
         evaluation=np.array([engine.evaluation]),
+        batching=np.array([engine.batching]),
         propensity=np.array(
             ["tree" if store_kind == "FenwickPropensity" else "linear"]
         ),
         rng_state=np.array([rng_state]),
-        vacancy_slots=np.array(engine.cache.sites, dtype=np.int64),
+        vacancy_slots=slots,
+        free_order=np.array(engine.kernel.cache.free_slots, dtype=np.int64),
     )
 
 
@@ -60,6 +106,11 @@ def load_checkpoint(
         Optional pre-built TET; rebuilt from the stored cutoff otherwise.
     """
     data = np.load(path, allow_pickle=False)
+    if "kind" in data.files and str(data["kind"][0]) != "serial":
+        raise ValueError(
+            f"{path} holds a {str(data['kind'][0])!r} checkpoint; use "
+            "load_parallel_checkpoint"
+        )
     lattice = LatticeState(tuple(int(v) for v in data["shape"]), a=float(data["a"][0]))
     lattice.occupancy = data["occupancy"].astype(np.uint8)
     if tet is None:
@@ -68,6 +119,9 @@ def load_checkpoint(
     rng = np.random.default_rng()
     rng.bit_generator.state = json.loads(str(data["rng_state"][0]))
 
+    # Archives written before the batching mode was persisted resume under
+    # "auto" (the old, mode-dropping behaviour, kept for compatibility).
+    batching = str(data["batching"][0]) if "batching" in data.files else "auto"
     engine = TensorKMCEngine(
         lattice,
         potential,
@@ -76,13 +130,194 @@ def load_checkpoint(
         rng=rng,
         propensity=str(data["propensity"][0]),
         evaluation=str(data["evaluation"][0]),
+        batching=batching,
     )
     engine.time = float(data["time"][0])
     engine.step_count = int(data["step_count"][0])
     # Restore the vacancy registry's slot order (it encodes event identity);
     # restore_slot_order also resyncs the kernel's spatial invalidation index.
-    stored = [int(s) for s in data["vacancy_slots"]]
-    if sorted(stored) != sorted(engine.cache.sites):
+    stored = [None if s < 0 else int(s) for s in data["vacancy_slots"]]
+    live = sorted(s for s in stored if s is not None)
+    if live != sorted(int(s) for s in engine.cache.sites):
         raise ValueError("checkpoint vacancies do not match the occupancy array")
-    engine.restore_slot_order(stored)
+    free_order = (
+        [int(s) for s in data["free_order"]]
+        if "free_order" in data.files
+        else None
+    )
+    engine.restore_slot_order(stored, free_order=free_order)
     return engine
+
+
+# ----------------------------------------------------------------------
+# Parallel sublattice worlds
+# ----------------------------------------------------------------------
+#: CycleStats field order in the serialised history (append-only).
+_CYCLE_FIELDS = (
+    "sector",
+    "events",
+    "rejected",
+    "compute_seconds",
+    "comm_messages",
+    "comm_bytes",
+    "cache_hits",
+    "cache_misses",
+    "invalidations",
+    "rates_evaluated",
+    "selections",
+    "selection_depth",
+    "rate_batches",
+    "batched_rows",
+)
+
+_COMM_FIELDS = ("messages_sent", "bytes_sent", "barriers", "collectives")
+
+
+def save_parallel_checkpoint(path: str, sim) -> None:
+    """Serialise a :class:`SublatticeKMC` world at a cycle boundary.
+
+    Stores the gathered global occupancy plus everything per-rank that the
+    global state does not determine: the padded window (ghost regions
+    included), the rank RNG stream, the kernel slot order and free-list
+    stack, and the rank's event counters — together with the sector cursor,
+    accumulated communicator statistics, and the per-cycle history.  Must be
+    called between cycles (the sublattice protocol has no well-defined
+    mid-cycle state).
+    """
+    stats = sim.world.stats
+    arrays = {
+        "kind": np.array(["parallel"]),
+        "shape": np.array(sim.global_shape, dtype=np.int64),
+        "a": np.array([sim.a]),
+        "rcut": np.array([sim.tet.rcut]),
+        "temperature": np.array([sim.ranks[0].rate_model.temperature]),
+        "t_stop": np.array([sim.t_stop]),
+        "seed": np.array([sim.seed], dtype=np.int64),
+        "sector_mode": np.array([sim.sector_mode]),
+        "grid": np.array(sim.decomposition.grid, dtype=np.int64),
+        "time": np.array([sim.time]),
+        "sector_index": np.array([sim.sector_index], dtype=np.int64),
+        "proximity_violations": np.array(
+            [sim.proximity_violations], dtype=np.int64
+        ),
+        "occupancy": sim.gather_global().occupancy,
+        "world_stats": np.array(
+            [getattr(stats, f) for f in _COMM_FIELDS], dtype=np.int64
+        ),
+        "cycles": np.array(
+            [[float(getattr(c, f)) for f in _CYCLE_FIELDS] for c in sim.cycles],
+            dtype=np.float64,
+        ).reshape(-1, len(_CYCLE_FIELDS)),
+    }
+    for r, rank in enumerate(sim.ranks):
+        keys = rank.kernel.cache.sites
+        arrays[f"rank{r}_occupancy"] = rank.window.occupancy
+        arrays[f"rank{r}_rng"] = np.array(
+            [json.dumps(rank.rng.bit_generator.state)]
+        )
+        arrays[f"rank{r}_slots"] = np.array(
+            [
+                (_FREE_SLOT,) * 3 if k is None else tuple(int(v) for v in k)
+                for k in keys
+            ],
+            dtype=np.int64,
+        ).reshape(-1, 3)
+        arrays[f"rank{r}_free_order"] = np.array(
+            rank.kernel.cache.free_slots, dtype=np.int64
+        )
+        arrays[f"rank{r}_counters"] = np.array(
+            [rank.events, rank.rejected, rank.anomalies], dtype=np.int64
+        )
+        local = rank.exchanger.comm.local_stats
+        arrays[f"rank{r}_local_stats"] = np.array(
+            [getattr(local, f) for f in _COMM_FIELDS], dtype=np.int64
+        )
+    np.savez_compressed(path, **arrays)
+
+
+def load_parallel_checkpoint(
+    path: str,
+    potential: CountsPotential,
+    tet: TripleEncoding | None = None,
+    fault_plan=None,
+):
+    """Rebuild a :class:`SublatticeKMC` whose continuation is bit-exact.
+
+    ``potential`` (and optionally ``tet``) are reconstructed by the caller
+    exactly as for the serial loader; ``fault_plan`` re-attaches a (stateful)
+    :class:`~repro.parallel.faults.FaultPlan` so rollback-and-replay recovery
+    does not re-trigger already-fired faults.
+    """
+    from ..parallel.engine import CycleStats, SublatticeKMC
+
+    data = np.load(path, allow_pickle=False)
+    kind = str(data["kind"][0]) if "kind" in data.files else "serial"
+    if kind != "parallel":
+        raise ValueError(
+            f"{path} holds a {kind!r} checkpoint; use load_checkpoint"
+        )
+    shape = tuple(int(v) for v in data["shape"])
+    a = float(data["a"][0])
+    lattice = LatticeState(shape, a=a)
+    lattice.occupancy = data["occupancy"].astype(np.uint8)
+    if tet is None:
+        tet = TripleEncoding(rcut=float(data["rcut"][0]), a=a)
+
+    sim = SublatticeKMC(
+        lattice,
+        potential,
+        tet,
+        grid=tuple(int(v) for v in data["grid"]),
+        temperature=float(data["temperature"][0]),
+        t_stop=float(data["t_stop"][0]),
+        seed=int(data["seed"][0]),
+        sector_mode=str(data["sector_mode"][0]),
+        fault_plan=fault_plan,
+    )
+    sim.time = float(data["time"][0])
+    sim.sector_index = int(data["sector_index"][0])
+    sim.proximity_violations = int(data["proximity_violations"][0])
+    for name, value in zip(_COMM_FIELDS, data["world_stats"]):
+        setattr(sim.world.stats, name, int(value))
+    sim.cycles = [
+        CycleStats(
+            **{
+                name: (float(v) if name == "compute_seconds" else int(v))
+                for name, v in zip(_CYCLE_FIELDS, row)
+            }
+        )
+        for row in data["cycles"]
+    ]
+
+    for r, rank in enumerate(sim.ranks):
+        occ = data[f"rank{r}_occupancy"].astype(np.uint8)
+        if occ.shape != rank.window.occupancy.shape:
+            raise ValueError(
+                f"rank {r} window shape {occ.shape} does not match the "
+                f"decomposition ({rank.window.occupancy.shape})"
+            )
+        rank.window.occupancy[:] = occ
+        rank.vacancies = rank.window.local_vacancy_half_coords(rank.vacancy_code)
+        keys = [
+            None if int(row[0]) == _FREE_SLOT else tuple(int(v) for v in row)
+            for row in data[f"rank{r}_slots"]
+        ]
+        live = sorted(k for k in keys if k is not None)
+        current = sorted(tuple(int(v) for v in h) for h in rank.vacancies)
+        if live != current:
+            raise ValueError(
+                f"rank {r}: checkpoint slot registry does not match the "
+                "stored occupancy"
+            )
+        rank.kernel.set_keys(
+            keys, free_order=[int(s) for s in data[f"rank{r}_free_order"]]
+        )
+        rng = np.random.default_rng()
+        rng.bit_generator.state = json.loads(str(data[f"rank{r}_rng"][0]))
+        rank.rng = rng
+        rank.events, rank.rejected, rank.anomalies = (
+            int(v) for v in data[f"rank{r}_counters"]
+        )
+        for name, value in zip(_COMM_FIELDS, data[f"rank{r}_local_stats"]):
+            setattr(rank.exchanger.comm.local_stats, name, int(value))
+    return sim

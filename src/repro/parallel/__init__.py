@@ -1,9 +1,11 @@
 """Parallel AKMC: simulated MPI, decomposition, ghosts, sublattice driver."""
 
-from .comm import CommStats, SimComm, SimCommWorld, allreduce_sum
+from .comm import CommStats, ProtocolError, SimComm, SimCommWorld, allreduce_sum
 from .decomposition import GridDecomposition, choose_grid
 from .engine import CycleStats, RankState, SublatticeKMC
+from .faults import FAULT_KINDS, FaultEvent, FaultPlan
 from .ghost import GhostExchanger, SiteUpdates, in_padded_box, window_images
+from .recovery import run_resilient
 from .scaling_model import (
     CORES_PER_CG,
     ScalingParameters,
@@ -16,6 +18,7 @@ from .sublattice import N_SECTORS, SectorGeometry
 
 __all__ = [
     "CommStats",
+    "ProtocolError",
     "SimComm",
     "SimCommWorld",
     "allreduce_sum",
@@ -24,10 +27,14 @@ __all__ = [
     "CycleStats",
     "RankState",
     "SublatticeKMC",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
     "GhostExchanger",
     "SiteUpdates",
     "in_padded_box",
     "window_images",
+    "run_resilient",
     "CORES_PER_CG",
     "ScalingParameters",
     "ScalingPoint",

@@ -37,8 +37,9 @@ from ..core.vacancy_system import VacancySystemEvaluator
 from ..lattice.domain import LocalWindow
 from ..lattice.occupancy import LatticeState
 from ..potentials.base import CountsPotential
-from .comm import SimCommWorld
+from .comm import ProtocolError, SimCommWorld, allreduce_sum
 from .decomposition import GridDecomposition, choose_grid
+from .faults import FaultPlan
 from .ghost import GhostExchanger, SiteUpdates
 from .sublattice import N_SECTORS, SectorGeometry
 
@@ -294,6 +295,12 @@ class SublatticeKMC:
         *counts* proximity violations — pairs of same-cycle changes from
         different ranks closer than the interaction reach, i.e. the hops
         that would have raced on a real machine.
+    fault_plan:
+        Optional :class:`~repro.parallel.faults.FaultPlan` attached to the
+        communicator: scripted/seeded message drop, duplication, delay and
+        rank kills, surfaced as structured
+        :class:`~repro.parallel.comm.ProtocolError`\\ s (see
+        ``repro.parallel.recovery`` for the rollback-and-replay driver).
     """
 
     def __init__(
@@ -308,6 +315,7 @@ class SublatticeKMC:
         seed: int = 0,
         sector_mode: str = "sublattice",
         ea0=None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if sector_mode not in ("sublattice", "naive"):
             raise ValueError(f"unknown sector_mode {sector_mode!r}")
@@ -317,9 +325,10 @@ class SublatticeKMC:
         self.a = lattice.a
         self.tet = tet
         self.t_stop = float(t_stop)
+        self.seed = int(seed)
         grid = grid or choose_grid(n_ranks, lattice.shape)
         self.decomposition = GridDecomposition(lattice.shape, grid)
-        self.world = SimCommWorld(self.decomposition.n_ranks)
+        self.world = SimCommWorld(self.decomposition.n_ranks, fault_plan=fault_plan)
         evaluator = VacancySystemEvaluator(tet, potential)
         if lattice.vacancy_code != evaluator.vacancy_code:
             raise ValueError(
@@ -361,39 +370,72 @@ class SublatticeKMC:
         return totals
 
     def cycle(self) -> CycleStats:
-        """One synchronous sublattice cycle: evolve sector, exchange, rotate."""
+        """One synchronous sublattice cycle: evolve sector, exchange, rotate.
+
+        The cycle index (``sector_index``) drives the communicator's fault
+        clock; injected rank kills make the victim skip every phase, and the
+        survivors' exchange detects the missing neighbour messages as a
+        :class:`~repro.parallel.comm.ProtocolError`.
+        """
         sector = self.sector_index % N_SECTORS
+        self.world.begin_cycle(self.sector_index)
+        killed = self.world.killed
+        if len(killed) >= len(self.ranks):
+            raise ProtocolError(
+                "every rank has been killed — nothing left to run",
+                cycle=self.world.cycle,
+                transcript=self.world.transcript_tail(),
+            )
         msg_before = self.world.stats.messages_sent
         bytes_before = self.world.stats.bytes_sent
-        events_before = sum(r.events for r in self.ranks)
+        events_before = [r.events for r in self.ranks]
         rejected_before = sum(r.rejected for r in self.ranks)
         kernel_before = self._kernel_counters()
 
         t0 = _time.perf_counter()
-        if self.sector_mode == "sublattice":
-            updates = [rank.run_sector(sector, self.t_stop) for rank in self.ranks]
-        else:
-            updates = [rank.run_sector(None, self.t_stop) for rank in self.ranks]
+        run_sector = sector if self.sector_mode == "sublattice" else None
+        updates = [
+            rank.run_sector(run_sector, self.t_stop)
+            if rank.rank not in killed
+            else SiteUpdates.empty()
+            for rank in self.ranks
+        ]
         compute_seconds = _time.perf_counter() - t0
         self.proximity_violations += self._count_proximity_violations(updates)
 
         # Exchange phase: everyone sends, then everyone applies (lockstep).
         for rank, ups in zip(self.ranks, updates):
+            if rank.rank in killed:
+                continue
             rank.exchanger.send_updates(ups)
         for rank in self.ranks:
+            if rank.rank in killed:
+                continue
             written_half = rank.exchanger.apply_updates()
             if written_half.size:
                 rank.invalidate_near(written_half)
             rank.exchanger.comm.barrier()
             rank.rescan_vacancies()
         self.world.assert_drained()
+        # Time synchronisation: the per-cycle event count flows through a
+        # counted collective, so CommStats calibration sees the allreduce
+        # traffic every real campaign pays.
+        events_cycle = int(
+            allreduce_sum(
+                self.world,
+                [
+                    float(r.events - before)
+                    for r, before in zip(self.ranks, events_before)
+                ],
+            )
+        )
 
         self.time += self.t_stop
         self.sector_index += 1
         kernel_after = self._kernel_counters()
         stats = CycleStats(
             sector=sector,
-            events=sum(r.events for r in self.ranks) - events_before,
+            events=events_cycle,
             rejected=sum(r.rejected for r in self.ranks) - rejected_before,
             compute_seconds=compute_seconds,
             comm_messages=self.world.stats.messages_sent - msg_before,

@@ -1,0 +1,156 @@
+"""Deterministic communication fault injection for :class:`SimComm`.
+
+The paper's flagship campaign holds 422,400 processes for days, where message
+loss and node failure are statistical certainties; the simulated communicator
+lets us *schedule* them instead of waiting.  A :class:`FaultPlan` is attached
+to a :class:`~repro.parallel.comm.SimCommWorld` and consulted on every send
+and at every cycle boundary:
+
+* scripted :class:`FaultEvent` entries fire a fault at an exact
+  ``(cycle, rank, tag)`` coordinate — drop / duplicate / delay a message, or
+  kill a rank outright;
+* an optional seeded background process (``p_drop`` / ``p_duplicate`` /
+  ``p_delay`` per message, drawn from one ``numpy`` generator) models a lossy
+  interconnect reproducibly.
+
+Every fault is **one-shot and remembered**: once an event has fired it is
+recorded in :attr:`FaultPlan.fired` and never fires again.  The recovery
+driver exploits this — after a rollback to the last checkpoint the same plan
+object is re-attached to the fresh world, so the replayed cycles run clean
+(the failed node has been "replaced").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS"]
+
+#: Supported fault classes.
+FAULT_KINDS = ("drop", "duplicate", "delay", "kill")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted fault at an exact protocol coordinate.
+
+    Parameters
+    ----------
+    kind:
+        ``"drop"`` (message never arrives), ``"duplicate"`` (delivered
+        twice), ``"delay"`` (delivered one cycle late), or ``"kill"``
+        (the rank stops participating from ``cycle`` on).
+    cycle:
+        Driver cycle index at which the fault becomes armed (the sublattice
+        driver's ``sector_index``).
+    rank:
+        The victim for ``"kill"``; the *source* rank whose sends are affected
+        for the message faults.
+    tag:
+        Restrict message faults to one tag (``None`` matches any tag).
+    dest:
+        Restrict message faults to one destination (``None`` matches any).
+    count:
+        Number of messages affected before the event is exhausted.
+    """
+
+    kind: str
+    cycle: int
+    rank: int
+    tag: Any = None
+    dest: Optional[int] = None
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.count < 1:
+            raise ValueError(f"fault count must be >= 1, got {self.count}")
+
+    def matches_send(self, cycle: int, src: int, dest: int, tag: Any) -> bool:
+        """Whether this (message) event applies to a send."""
+        if self.kind == "kill":
+            return False
+        if cycle != self.cycle or src != self.rank:
+            return False
+        if self.tag is not None and tag != self.tag:
+            return False
+        if self.dest is not None and dest != self.dest:
+            return False
+        return True
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible schedule of communication faults.
+
+    Combines scripted :class:`FaultEvent` entries with an optional seeded
+    per-message background fault process.  The plan is stateful: fired events
+    are remembered (one-shot semantics) so a rollback-and-replay recovery
+    does not re-trigger the same failure.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: int = 0
+    p_drop: float = 0.0
+    p_duplicate: float = 0.0
+    p_delay: float = 0.0
+    #: Fired-fault log: ``(kind, cycle, "src->dest tag=...")`` tuples.
+    fired: List[Tuple[str, int, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = tuple(self.events)
+        for p in (self.p_drop, self.p_duplicate, self.p_delay):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"fault probability {p} outside [0, 1]")
+        self._remaining = {i: e.count for i, e in enumerate(self.events)}
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def kills_due(self, cycle: int) -> List[int]:
+        """Ranks whose scripted kill becomes active at ``cycle`` (one-shot)."""
+        victims: List[int] = []
+        for i, event in enumerate(self.events):
+            if (
+                event.kind == "kill"
+                and event.cycle <= cycle
+                and self._remaining[i] > 0
+            ):
+                self._remaining[i] = 0
+                self.fired.append(("kill", cycle, f"rank {event.rank}"))
+                victims.append(event.rank)
+        return victims
+
+    def action_for_send(
+        self, cycle: int, src: int, dest: int, tag: Any
+    ) -> Optional[str]:
+        """The fault (if any) to apply to one send; consumes the event."""
+        for i, event in enumerate(self.events):
+            if self._remaining[i] > 0 and event.matches_send(cycle, src, dest, tag):
+                self._remaining[i] -= 1
+                self.fired.append(
+                    (event.kind, cycle, f"{src}->{dest} tag={tag!r}")
+                )
+                return event.kind
+        if self.p_drop or self.p_duplicate or self.p_delay:
+            u = float(self._rng.random())
+            for kind, p in (
+                ("drop", self.p_drop),
+                ("duplicate", self.p_duplicate),
+                ("delay", self.p_delay),
+            ):
+                if u < p:
+                    self.fired.append((kind, cycle, f"{src}->{dest} tag={tag!r}"))
+                    return kind
+                u -= p
+        return None
+
+    @property
+    def pending_events(self) -> int:
+        """Scripted events (or repeats) that have not fired yet."""
+        return sum(self._remaining.values())

@@ -133,11 +133,20 @@ class GhostExchanger:
     def apply_updates(self) -> np.ndarray:
         """Receive and apply all pending updates to every window image.
 
+        The exchange contract is exactly one message per neighbour per phase
+        (the send side routes an empty-allowed message to every destination,
+        and the neighbour relation is symmetric), so the receive asserts it:
+        a missing or duplicated neighbour message — a dropped/delayed packet
+        or a dead rank — raises a structured
+        :class:`~repro.parallel.comm.ProtocolError`.
+
         Returns the window half-coordinates of all written sites (used for
         cache invalidation), shape ``(n, 3)``.
         """
         written: List[np.ndarray] = []
-        for _src, payload in self.comm.recv_all(GHOST_TAG):
+        for _src, payload in self.comm.recv_all(
+            GHOST_TAG, expected_sources=self.destinations
+        ):
             subs, cells, species = payload
             for s, cell, sp in zip(subs, cells, species):
                 images = window_images(self.window, cell)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.constants import FE, VACANCY
 from repro.core import TensorKMCEngine
 from repro.io import (
     load_checkpoint,
@@ -60,6 +61,68 @@ class TestCheckpoint:
         save_checkpoint(path, engine)
         resumed = load_checkpoint(path, eam_small)  # no tet passed
         assert resumed.tet.rcut == tet_small.rcut
+
+    @pytest.mark.parametrize("batching", ["auto", "batched", "scalar"])
+    def test_batching_mode_round_trips(self, tmp_path, tet_small, eam_small,
+                                       batching):
+        """Regression: load_checkpoint used to silently drop the batching
+        mode (always resuming under "auto")."""
+        engine = _engine(tet_small, eam_small, batching=batching)
+        engine.run(n_steps=5)
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, engine)
+        resumed = load_checkpoint(path, eam_small, tet=tet_small)
+        # "auto" resolves at construction; the *resolved* mode must survive.
+        assert resumed.batching == engine.batching
+
+    def test_scalar_mode_survives_on_batch_invariant_potential(
+        self, tmp_path, tet_small, eam_small
+    ):
+        """EAM is batch-row-invariant, so "auto" resolves to "batched" — a
+        forced "scalar" engine must not come back batched."""
+        engine = _engine(tet_small, eam_small, batching="scalar")
+        engine.run(n_steps=3)
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, engine)
+        resumed = load_checkpoint(path, eam_small, tet=tet_small)
+        assert resumed.batching == "scalar"
+
+    def test_checkpoint_after_slot_churn(self, tmp_path, tet_small, eam_small):
+        """Regression: annihilating a vacancy parks its kernel slot (None in
+        cache.sites), which used to crash save_checkpoint; the free-list
+        recycling order is also trajectory state and must round-trip."""
+        engine = _engine(tet_small, eam_small)
+        engine.run(n_steps=10)
+        lattice = engine.lattice
+        # Annihilate two vacancies, then create one elsewhere (e.g. a sink /
+        # source process outside the hop catalogue): the creation pops the
+        # most recently parked slot, leaving one slot parked.
+        touched = []
+        for slot in engine.kernel.live_slots()[:2]:
+            gone = int(engine.kernel.key_of(slot))
+            lattice.occupancy[gone] = FE
+            engine.kernel.remove(engine.kernel.slot_of(gone))
+            touched.append(gone)
+        born = int(np.flatnonzero(lattice.occupancy == FE)[17])
+        lattice.occupancy[born] = VACANCY
+        engine.kernel.add(born)
+        touched.append(born)
+        engine.kernel.invalidate_near(
+            lattice.half_coords(np.asarray(touched, dtype=np.int64))
+        )
+        assert None in engine.cache.sites  # a parked slot survives the churn
+        assert len(engine.kernel.cache.free_slots) == 1
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, engine)  # used to raise TypeError
+        resumed = load_checkpoint(path, eam_small, tet=tet_small)
+        assert resumed.cache.sites == engine.cache.sites
+        assert resumed.kernel.cache.free_slots == engine.kernel.cache.free_slots
+        engine.run(n_steps=25)
+        resumed.run(n_steps=25)
+        assert np.array_equal(
+            resumed.lattice.occupancy, engine.lattice.occupancy
+        )
+        assert resumed.time == engine.time
 
     def test_corrupted_occupancy_detected(self, tmp_path, tet_small, eam_small):
         engine = _engine(tet_small, eam_small)

@@ -1,4 +1,4 @@
-"""CLI: all three subcommands end-to-end."""
+"""CLI: all four subcommands end-to-end."""
 
 import numpy as np
 import pytest
@@ -60,6 +60,62 @@ class TestParallelCommand:
         assert code == 0
         assert "species_conserved = True" in out
         assert "ghosts_consistent = True" in out
+
+
+class TestParallelCheckpointing:
+    def _grab(self, out, key):
+        for line in out.splitlines():
+            if line.startswith(key):
+                return line
+        raise AssertionError(key)
+
+    def test_checkpoint_restart_resume_chain(self, capsys, tmp_path):
+        ck = str(tmp_path / "par.npz")
+        base = ["parallel", "--ranks", "2", "--temperature", "900",
+                "--vacancies", "0.003", "--seed", "2"]
+        # uninterrupted reference: 8 cycles
+        assert main(base + ["--cycles", "8"]) == 0
+        full = capsys.readouterr().out
+        # 4 cycles + checkpoint, restart for 2, resume for the last 2
+        assert main(base + ["--cycles", "4", "--checkpoint", ck]) == 0
+        capsys.readouterr()
+        assert main(base + ["--cycles", "2", "--restart", ck,
+                            "--checkpoint", ck]) == 0
+        capsys.readouterr()
+        assert main(["resume", ck, "--cycles", "2"]) == 0
+        resumed = capsys.readouterr().out
+        assert "kind = parallel" in resumed
+        assert self._grab(resumed, "cycles") == "cycles = 8"
+        assert self._grab(resumed, "time_s") == self._grab(full, "time_s")
+        assert self._grab(resumed, "events") == self._grab(full, "events")
+
+    def test_kill_rank_recovers(self, capsys, tmp_path):
+        ck = str(tmp_path / "par.npz")
+        code = main([
+            "parallel", "--ranks", "2", "--cycles", "6", "--seed", "2",
+            "--temperature", "900", "--vacancies", "0.003",
+            "--checkpoint", ck, "--kill-rank", "0", "--kill-cycle", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recoveries = 1" in out
+        assert "species_conserved = True" in out
+
+    def test_kill_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            main(["parallel", "--cycles", "2", "--kill-rank", "0"])
+
+    def test_resume_serial_checkpoint(self, capsys, tmp_path):
+        ck = str(tmp_path / "ser.npz")
+        assert main([
+            "run", "--box", "8", "--steps", "10", "--temperature", "800",
+            "--seed", "3", "--checkpoint", ck,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["resume", ck, "--steps", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "kind = serial" in out
+        assert "events = 15" in out
 
 
 class TestTrainCommand:

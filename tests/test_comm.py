@@ -97,3 +97,14 @@ class TestAccounting:
         assert world.stats.collectives == 1
         with pytest.raises(ValueError):
             allreduce_sum(world, [1.0])
+
+    def test_allreduce_traffic_is_accounted(self):
+        """Regression: collectives used to count as zero messages and zero
+        bytes, hiding allreduce traffic from scaling-model calibration."""
+        world = SimCommWorld(3)
+        allreduce_sum(world, [1.0, 2.0, 3.0])
+        assert world.stats.messages_sent == 3  # one contribution per rank
+        assert world.stats.bytes_sent == 3 * 8  # one float64 each
+        allreduce_sum(world, [4.0, 5.0, 6.0])
+        assert world.stats.messages_sent == 6
+        assert world.stats.bytes_sent == 48

@@ -1,0 +1,251 @@
+"""Fault injection and rollback-and-replay recovery.
+
+Every fault class (drop / duplicate / delay / rank-kill) must either surface
+as a structured :class:`ProtocolError` carrying the ``(rank, tag, cycle)``
+coordinate, or — under the resilient driver — be recovered from by rolling
+back to the last cycle-boundary checkpoint, with the recovered trajectory
+bit-identical to a fault-free run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lattice import LatticeState
+from repro.parallel import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    ProtocolError,
+    SimCommWorld,
+    SublatticeKMC,
+    run_resilient,
+)
+from repro.parallel.ghost import GHOST_TAG
+
+
+def _alloy(seed=3):
+    lat = LatticeState((16, 16, 16))
+    lat.randomize_alloy(np.random.default_rng(seed), 0.05, 0.003)
+    return lat
+
+
+def _sim(tet, pot, plan=None, n_ranks=4, seed=5):
+    return SublatticeKMC(
+        _alloy(), pot, tet, n_ranks=n_ranks, temperature=900.0,
+        t_stop=2e-10, seed=seed, fault_plan=plan,
+    )
+
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent("explode", cycle=0, rank=0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(p_drop=1.5)
+
+    def test_events_are_one_shot(self):
+        plan = FaultPlan(events=[FaultEvent("drop", cycle=1, rank=0)])
+        assert plan.pending_events == 1
+        assert plan.action_for_send(1, 0, 1, "t") == "drop"
+        assert plan.pending_events == 0
+        assert plan.action_for_send(1, 0, 1, "t") is None
+        assert plan.fired == [("drop", 1, "0->1 tag='t'")]
+
+    def test_kills_are_one_shot(self):
+        plan = FaultPlan(events=[FaultEvent("kill", cycle=2, rank=1)])
+        assert plan.kills_due(0) == []
+        assert plan.kills_due(3) == [1]  # late arming still fires
+        assert plan.kills_due(3) == []
+
+    def test_event_coordinate_filters(self):
+        event = FaultEvent("drop", cycle=4, rank=0, tag="ghost", dest=2)
+        assert event.matches_send(4, 0, 2, "ghost")
+        assert not event.matches_send(3, 0, 2, "ghost")
+        assert not event.matches_send(4, 1, 2, "ghost")
+        assert not event.matches_send(4, 0, 1, "ghost")
+        assert not event.matches_send(4, 0, 2, "other")
+
+    def test_seeded_faults_are_reproducible(self):
+        draws = []
+        for _ in range(2):
+            plan = FaultPlan(seed=7, p_drop=0.3, p_delay=0.3)
+            draws.append(
+                [plan.action_for_send(0, 0, 1, "t") for _ in range(50)]
+            )
+        assert draws[0] == draws[1]
+        assert "drop" in draws[0] and "delay" in draws[0]
+
+
+class TestProtocolError:
+    def test_is_a_runtime_error_with_context(self):
+        err = ProtocolError(
+            "boom", rank=3, tag="ghost", cycle=7, transcript=("a", "b")
+        )
+        assert isinstance(err, RuntimeError)
+        assert (err.rank, err.tag, err.cycle) == (3, "ghost", 7)
+        assert err.transcript == ("a", "b")
+        assert "rank=3" in str(err) and "cycle=7" in str(err)
+        assert "recent traffic" in str(err)
+
+    def test_recv_missing_carries_coordinates(self):
+        world = SimCommWorld(2)
+        world.begin_cycle(5)
+        with pytest.raises(ProtocolError) as exc:
+            world.comm(1).recv(0, "t")
+        assert exc.value.rank == 1
+        assert exc.value.tag == "t"
+        assert exc.value.cycle == 5
+
+    def test_recv_all_contract(self):
+        world = SimCommWorld(3)
+        world.comm(0).send(2, "t", 1)
+        with pytest.raises(ProtocolError, match="missing"):
+            world.comm(2).recv_all("t", expected_sources=[0, 1])
+        world.comm(0).send(2, "t", 1)
+        world.comm(0).send(2, "t", 1)
+        with pytest.raises(ProtocolError, match="duplicate"):
+            world.comm(2).recv_all("t", expected_sources=[0])
+
+    def test_undrained_mailbox_fails_loudly(self):
+        world = SimCommWorld(2)
+        world.comm(0).send(1, "stray", 42)
+        with pytest.raises(ProtocolError) as exc:
+            world.assert_drained()
+        assert exc.value.rank == 1
+        assert exc.value.tag == "stray"
+
+
+@pytest.mark.parametrize("kind", [k for k in FAULT_KINDS if k != "kill"])
+class TestMessageFaults:
+    def test_fault_raises_structured_error(self, tet_small, eam_small, kind):
+        plan = FaultPlan(
+            events=[FaultEvent(kind, cycle=2, rank=0, tag=GHOST_TAG)]
+        )
+        sim = _sim(tet_small, eam_small, plan)
+        with pytest.raises(ProtocolError) as exc:
+            sim.run(8)
+        assert exc.value.cycle == 2
+        assert exc.value.tag == GHOST_TAG
+        assert exc.value.rank is not None
+        assert len(exc.value.transcript) > 0
+        assert len(sim.cycles) == 2  # the faulted cycle never committed
+
+
+class TestRankKill:
+    def test_kill_raises_with_coordinates(self, tet_small, eam_small):
+        plan = FaultPlan(events=[FaultEvent("kill", cycle=3, rank=1)])
+        sim = _sim(tet_small, eam_small, plan)
+        with pytest.raises(ProtocolError) as exc:
+            sim.run(8)
+        assert exc.value.cycle == 3
+        assert exc.value.tag == GHOST_TAG  # survivors miss the ghost message
+        assert len(sim.cycles) == 3
+
+    def test_all_ranks_dead_raises(self, tet_small, eam_small):
+        plan = FaultPlan(
+            events=[FaultEvent("kill", cycle=0, rank=r) for r in range(2)]
+        )
+        sim = _sim(tet_small, eam_small, plan, n_ranks=2)
+        with pytest.raises(ProtocolError, match="every rank"):
+            sim.cycle()
+
+    def test_sends_to_dead_rank_are_counted(self, tet_small, eam_small):
+        plan = FaultPlan(events=[FaultEvent("kill", cycle=1, rank=0)])
+        sim = _sim(tet_small, eam_small, plan)
+        with pytest.raises(ProtocolError):
+            sim.run(4)
+        assert sim.world.fault_stats.lost_to_dead_rank > 0
+
+
+class TestRecovery:
+    def test_kill_recovery_is_bit_exact(self, tmp_path, tet_small, eam_small):
+        """Rank 0 dies at cycle 5; the resilient driver rolls back to the
+        last checkpoint and replays — ending bit-identical to a run that
+        never saw the fault."""
+        reference = _sim(tet_small, eam_small)
+        reference.run(12)
+
+        plan = FaultPlan(events=[FaultEvent("kill", cycle=5, rank=0)])
+        sim = _sim(tet_small, eam_small, plan)
+        path = str(tmp_path / "resilient.npz")
+        sim, recoveries = run_resilient(
+            sim, 12, path, eam_small, tet=tet_small, checkpoint_every=4
+        )
+        assert recoveries == 1
+        assert len(sim.cycles) == 12
+        assert np.array_equal(
+            sim.gather_global().occupancy,
+            reference.gather_global().occupancy,
+        )
+        assert [c.events for c in sim.cycles] == [
+            c.events for c in reference.cycles
+        ]
+        assert sim.time == reference.time
+
+    @pytest.mark.parametrize("kind", ["drop", "duplicate", "delay"])
+    def test_message_fault_recovery(self, tmp_path, tet_small, eam_small, kind):
+        reference = _sim(tet_small, eam_small)
+        reference.run(10)
+        plan = FaultPlan(
+            events=[FaultEvent(kind, cycle=3, rank=0, tag=GHOST_TAG)]
+        )
+        sim = _sim(tet_small, eam_small, plan)
+        path = str(tmp_path / "resilient.npz")
+        sim, recoveries = run_resilient(
+            sim, 10, path, eam_small, tet=tet_small, checkpoint_every=2
+        )
+        assert recoveries == 1
+        assert plan.pending_events == 0
+        assert np.array_equal(
+            sim.gather_global().occupancy,
+            reference.gather_global().occupancy,
+        )
+
+    def test_seeded_chaos_recovery(self, tmp_path, tet_small, eam_small):
+        """A lossy interconnect (seeded background drops/delays) still
+        converges to the fault-free trajectory under recovery."""
+        reference = _sim(tet_small, eam_small, n_ranks=2)
+        reference.run(10)
+        plan = FaultPlan(seed=42, p_drop=0.03, p_delay=0.02)
+        sim = _sim(tet_small, eam_small, plan, n_ranks=2)
+        path = str(tmp_path / "chaos.npz")
+        sim, recoveries = run_resilient(
+            sim, 10, path, eam_small, tet=tet_small,
+            checkpoint_every=2, max_recoveries=64,
+        )
+        assert recoveries >= 1
+        assert len(plan.fired) >= recoveries
+        assert np.array_equal(
+            sim.gather_global().occupancy,
+            reference.gather_global().occupancy,
+        )
+        assert sim.time == reference.time
+
+    def test_max_recoveries_reraise(self, tmp_path, tet_small, eam_small):
+        # every ghost send from rank 0 at every early cycle drops: hopeless
+        plan = FaultPlan(
+            events=[
+                FaultEvent("drop", cycle=c, rank=0, tag=GHOST_TAG, count=99)
+                for c in range(8)
+            ]
+        )
+        sim = _sim(tet_small, eam_small, plan)
+        with pytest.raises(ProtocolError):
+            run_resilient(
+                sim, 8, str(tmp_path / "h.npz"), eam_small,
+                tet=tet_small, max_recoveries=3,
+            )
+
+    def test_faulted_cycle_never_commits(self, tet_small, eam_small):
+        """State guarded by recovery: a failed cycle leaves cycles/time
+        untouched, so rollback from the checkpoint loses nothing."""
+        plan = FaultPlan(
+            events=[FaultEvent("drop", cycle=2, rank=0, tag=GHOST_TAG)]
+        )
+        sim = _sim(tet_small, eam_small, plan)
+        with pytest.raises(ProtocolError):
+            sim.run(8)
+        assert len(sim.cycles) == 2
+        assert sim.time == pytest.approx(2 * sim.t_stop)

@@ -1,0 +1,183 @@
+"""Parallel checkpoint/restart: bit-exact continuation of a sublattice world."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    checkpoint_kind,
+    load_checkpoint,
+    load_parallel_checkpoint,
+    save_checkpoint,
+    save_parallel_checkpoint,
+)
+from repro.core import TensorKMCEngine
+from repro.lattice import LatticeState
+from repro.parallel import SublatticeKMC
+
+
+def _alloy(seed=3, vac=0.003):
+    lat = LatticeState((16, 16, 16))
+    lat.randomize_alloy(np.random.default_rng(seed), 0.05, vac)
+    return lat
+
+
+def _sim(tet, pot, seed=5, n_ranks=4, **kw):
+    return SublatticeKMC(
+        _alloy(), pot, tet, n_ranks=n_ranks, temperature=900.0,
+        t_stop=2e-10, seed=seed, **kw,
+    )
+
+
+class TestBitExactResume:
+    def test_kill_mid_campaign_and_resume(self, tmp_path, tet_small, eam_small):
+        """The tentpole invariant: interrupt at cycle 6, resume, and the
+        trajectory (occupancy, per-cycle event log, clock, cursor) is
+        bit-identical to an uninterrupted 12-cycle run."""
+        reference = _sim(tet_small, eam_small)
+        reference.run(12)
+
+        interrupted = _sim(tet_small, eam_small)
+        interrupted.run(6)
+        path = str(tmp_path / "pck.npz")
+        save_parallel_checkpoint(path, interrupted)
+        del interrupted  # the "killed" campaign
+
+        resumed = load_parallel_checkpoint(path, eam_small, tet=tet_small)
+        resumed.run(6)
+
+        assert np.array_equal(
+            resumed.gather_global().occupancy,
+            reference.gather_global().occupancy,
+        )
+        assert [c.events for c in resumed.cycles] == [
+            c.events for c in reference.cycles
+        ]
+        assert [c.sector for c in resumed.cycles] == [
+            c.sector for c in reference.cycles
+        ]
+        assert resumed.time == reference.time
+        assert resumed.sector_index == reference.sector_index
+        for a, b in zip(resumed.ranks, reference.ranks):
+            assert a.events == b.events
+            assert a.rejected == b.rejected
+
+    def test_rank_rng_streams_restored(self, tmp_path, tet_small, eam_small):
+        sim = _sim(tet_small, eam_small)
+        sim.run(5)
+        path = str(tmp_path / "pck.npz")
+        save_parallel_checkpoint(path, sim)
+        resumed = load_parallel_checkpoint(path, eam_small, tet=tet_small)
+        for a, b in zip(resumed.ranks, sim.ranks):
+            assert a.rng.bit_generator.state == b.rng.bit_generator.state
+
+    def test_ghosts_consistent_after_load(self, tmp_path, tet_small, eam_small):
+        sim = _sim(tet_small, eam_small)
+        sim.run(4)
+        path = str(tmp_path / "pck.npz")
+        save_parallel_checkpoint(path, sim)
+        resumed = load_parallel_checkpoint(path, eam_small, tet=tet_small)
+        assert resumed.check_ghost_consistency()
+
+    def test_world_stats_and_history_restored(self, tmp_path, tet_small, eam_small):
+        sim = _sim(tet_small, eam_small)
+        sim.run(7)
+        path = str(tmp_path / "pck.npz")
+        save_parallel_checkpoint(path, sim)
+        resumed = load_parallel_checkpoint(path, eam_small, tet=tet_small)
+        assert resumed.world.stats == sim.world.stats
+        assert len(resumed.cycles) == 7
+        assert resumed.cycles == sim.cycles
+        assert resumed.total_events == sim.total_events
+
+    def test_save_is_idempotent(self, tmp_path, tet_small, eam_small):
+        """save -> load -> save produces a byte-equal set of arrays."""
+        sim = _sim(tet_small, eam_small)
+        sim.run(3)
+        p1 = str(tmp_path / "a.npz")
+        p2 = str(tmp_path / "b.npz")
+        save_parallel_checkpoint(p1, sim)
+        resumed = load_parallel_checkpoint(p1, eam_small, tet=tet_small)
+        save_parallel_checkpoint(p2, resumed)
+        with np.load(p1) as d1, np.load(p2) as d2:
+            assert sorted(d1.files) == sorted(d2.files)
+            for name in d1.files:
+                assert np.array_equal(d1[name], d2[name]), name
+
+    def test_resume_from_resumed(self, tmp_path, tet_small, eam_small):
+        """Chained restarts stay on the reference trajectory."""
+        reference = _sim(tet_small, eam_small)
+        reference.run(9)
+        sim = _sim(tet_small, eam_small)
+        path = str(tmp_path / "pck.npz")
+        for leg in (3, 3, 3):
+            sim.run(leg)
+            save_parallel_checkpoint(path, sim)
+            sim = load_parallel_checkpoint(path, eam_small, tet=tet_small)
+        assert np.array_equal(
+            sim.gather_global().occupancy,
+            reference.gather_global().occupancy,
+        )
+        assert sim.time == reference.time
+
+
+class TestKindDetection:
+    def test_kind_fields(self, tmp_path, tet_small, eam_small):
+        par = str(tmp_path / "par.npz")
+        ser = str(tmp_path / "ser.npz")
+        sim = _sim(tet_small, eam_small)
+        sim.run(2)
+        save_parallel_checkpoint(par, sim)
+        lattice = LatticeState((8, 8, 8))
+        lattice.randomize_alloy(np.random.default_rng(1), 0.05, 0.003)
+        engine = TensorKMCEngine(
+            lattice, eam_small, tet_small, temperature=900.0,
+            rng=np.random.default_rng(2),
+        )
+        engine.run(n_steps=3)
+        save_checkpoint(ser, engine)
+        assert checkpoint_kind(par) == "parallel"
+        assert checkpoint_kind(ser) == "serial"
+
+    def test_wrong_loader_rejected(self, tmp_path, tet_small, eam_small):
+        par = str(tmp_path / "par.npz")
+        ser = str(tmp_path / "ser.npz")
+        sim = _sim(tet_small, eam_small)
+        sim.run(2)
+        save_parallel_checkpoint(par, sim)
+        lattice = LatticeState((8, 8, 8))
+        lattice.randomize_alloy(np.random.default_rng(1), 0.05, 0.003)
+        engine = TensorKMCEngine(
+            lattice, eam_small, tet_small, temperature=900.0,
+            rng=np.random.default_rng(2),
+        )
+        save_checkpoint(ser, engine)
+        with pytest.raises(ValueError, match="load_parallel_checkpoint"):
+            load_checkpoint(par, eam_small, tet=tet_small)
+        with pytest.raises(ValueError, match="load_checkpoint"):
+            load_parallel_checkpoint(ser, eam_small, tet=tet_small)
+
+
+class TestValidation:
+    def test_corrupted_rank_occupancy_detected(self, tmp_path, tet_small, eam_small):
+        sim = _sim(tet_small, eam_small)
+        sim.run(2)
+        path = str(tmp_path / "pck.npz")
+        save_parallel_checkpoint(path, sim)
+        data = dict(np.load(path, allow_pickle=False))
+        occ = data["rank0_occupancy"].copy()
+        occ[occ == sim.ranks[0].vacancy_code] = 0  # erase rank 0's vacancies
+        data["rank0_occupancy"] = occ
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="slot registry"):
+            load_parallel_checkpoint(path, eam_small, tet=tet_small)
+
+    def test_wrong_window_shape_detected(self, tmp_path, tet_small, eam_small):
+        sim = _sim(tet_small, eam_small)
+        sim.run(2)
+        path = str(tmp_path / "pck.npz")
+        save_parallel_checkpoint(path, sim)
+        data = dict(np.load(path, allow_pickle=False))
+        data["rank0_occupancy"] = data["rank0_occupancy"][:, :-1]
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="window shape"):
+            load_parallel_checkpoint(path, eam_small, tet=tet_small)

@@ -23,7 +23,10 @@ def small_parallel(tet_small, eam_small):
         lat, eam_small, tet_small, n_ranks=4, temperature=900.0,
         t_stop=2e-10, seed=5,
     )
-    sim.run(16)
+    for _ in range(16):
+        sim.cycle()
+        # every cycle must leave the mail system empty (protocol invariant)
+        sim.world.assert_drained()
     return lat, sim
 
 
@@ -88,9 +91,27 @@ class TestInvariants:
             lat, eam_small, tet_small, n_ranks=n_ranks, grid=grid,
             temperature=900.0, t_stop=2e-10, seed=1,
         )
-        sim.run(8)
+        for _ in range(8):
+            sim.cycle()
+            sim.world.assert_drained()
         assert np.array_equal(sim.gather_global().species_counts(), before)
         assert sim.check_ghost_consistency()
+
+    def test_stray_message_fails_next_cycle(self, tet_small, eam_small):
+        """An unconsumed message is a protocol violation, not silent debris:
+        the end-of-cycle drain check reports it as a ProtocolError."""
+        from repro.parallel import ProtocolError
+
+        lat = _alloy(seed=7)
+        sim = SublatticeKMC(
+            lat, eam_small, tet_small, n_ranks=2, temperature=900.0,
+            t_stop=2e-10, seed=1,
+        )
+        sim.run(2)
+        sim.world.comm(0).send(1, "stray", b"oops")
+        with pytest.raises(ProtocolError) as exc:
+            sim.cycle()
+        assert exc.value.tag == "stray"
 
     def test_determinism(self, tet_small, eam_small):
         finals = []

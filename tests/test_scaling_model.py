@@ -47,6 +47,36 @@ class TestStructure:
         assert pt.total_time(2e-7, 2e-8) == pytest.approx(10 * pt.cycle_time)
 
 
+class TestCalibrationTraffic:
+    """The model is calibrated from CommStats, so CommStats must see *all*
+    protocol traffic — including the per-cycle time-sync collective."""
+
+    def test_collective_traffic_reaches_comm_stats(self, tet_small, eam_small):
+        from repro.lattice import LatticeState
+        from repro.parallel import SublatticeKMC
+
+        lattice = LatticeState((16, 16, 16))
+        lattice.randomize_alloy(np.random.default_rng(3), 0.05, 0.003)
+        sim = SublatticeKMC(
+            lattice, eam_small, tet_small, n_ranks=2, temperature=900.0,
+            t_stop=2e-10, seed=5,
+        )
+        n_cycles = 6
+        sim.run(n_cycles)
+        stats = sim.world.stats
+        # one event-count allreduce per cycle ...
+        assert stats.collectives == n_cycles
+        # ... accounted as one message and one float64 per rank (regression:
+        # collectives used to contribute zero messages and zero bytes, so
+        # calibration under-counted the communication volume)
+        assert stats.messages_sent >= n_cycles * sim.world.size
+        assert stats.bytes_sent >= n_cycles * sim.world.size * 8
+        # and the per-cycle deltas see the collective too
+        for c in sim.cycles:
+            assert c.comm_messages >= sim.world.size
+            assert c.comm_bytes >= sim.world.size * 8
+
+
 class TestPaperShapes:
     def test_strong_efficiency_near_85_percent_at_32x(self, paper_params):
         """Fig. 12: 85% parallel efficiency from 780k to 24.96M cores."""
