@@ -11,8 +11,11 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Fast kernel regression check: times 500 parallel events at two box sizes
-# and writes BENCH_kernel.json (fails if per-event cost scales with N).
+# Fast kernel regression check: times 500 parallel events at two box sizes,
+# the EAM cache-miss rebuild path (scalar vs batched), and the NNP miss path
+# through the deterministic tiled-GEMM kernel (scalar vs batched, bitwise
+# invariance + speedup gate).  Writes BENCH_kernel.json; fails if per-event
+# cost scales with N or either batched path misses its gate.
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_kernel_smoke.py
 

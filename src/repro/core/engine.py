@@ -83,11 +83,13 @@ class SerialAKMCBase:
         (default) batches exactly when the potential declares
         ``batch_row_invariant`` — per-row rates are then bit-identical to the
         scalar path, so fixed-seed trajectories do not depend on the mode.
-        The NNP's float32 GEMM results depend on the batch row count, so
-        ``"auto"`` keeps it scalar; force ``"batched"`` for throughput when
-        last-bit trajectory reproducibility across cache configurations is
-        not required.  ``"full"`` evaluation only; the ``"delta"`` ablation
-        always runs scalar.
+        Every shipped potential now qualifies: the tabulated/EAM reductions
+        are row independent by construction, and the NNP runs its inference
+        through the deterministic tiled-GEMM kernel
+        (:mod:`repro.operators.tilegemm`) whose fixed call shapes and
+        accumulation order make each row's bits batch-independent.
+        ``"full"`` evaluation only; the ``"delta"`` ablation always runs
+        scalar.
     """
 
     #: Whether cached vacancy systems may be reused between steps.
@@ -288,6 +290,13 @@ class SerialAKMCBase:
             if callback is not None:
                 callback(event)
         return executed
+
+    def attach_cost_ledger(self, ledger):
+        """Charge all rate evaluations (scalar and batched miss paths) to
+        ``ledger`` via the Fig. 9 operator cost model; see
+        :meth:`~repro.core.vacancy_system.VacancySystemEvaluator.attach_cost_ledger`.
+        """
+        return self.evaluator.attach_cost_ledger(ledger)
 
     # ------------------------------------------------------------------
     def total_propensity(self) -> float:

@@ -17,6 +17,7 @@ from typing import List
 import numpy as np
 
 from ..potentials.base import CountsPotential, counts_from_types
+from ..sunway.costmodel import CostLedger, charge_batched_rate_eval
 from .tet import TripleEncoding
 
 __all__ = ["StateEnergies", "StateEnergiesBatch", "VacancySystemEvaluator"]
@@ -91,6 +92,8 @@ class VacancySystemEvaluator:
         self.potential = potential
         self.n_elements = getattr(potential, "n_elements", 2)
         self.vacancy_code = self.n_elements
+        # Optional Fig. 9 cost accounting (see attach_cost_ledger).
+        self._ledger: "CostLedger | None" = None
         self._n_states = 1 + tet.N_DIRECTIONS
         # For the delta path: shell of VET site t (centre / each 1NN) in each
         # region site's neighbour list, or -1 when t is out of its range.
@@ -130,6 +133,38 @@ class VacancySystemEvaluator:
             self._delta_target_shells.append(sm[sm >= 0].astype(np.intp))
             self._delta_pos0[k] = np.searchsorted(affected, 0)
             self._delta_posm[k] = np.searchsorted(affected, self._dir_targets[k])
+
+    # ------------------------------------------------------------------
+    # Fig. 9 operator cost accounting
+    # ------------------------------------------------------------------
+    def attach_cost_ledger(self, ledger: CostLedger) -> CostLedger:
+        """Charge every rate evaluation to ``ledger`` from now on.
+
+        For network potentials (anything exposing ``network_channels``, i.e.
+        the NNP) each :meth:`evaluate` / :meth:`evaluate_batch` call is
+        charged through :func:`~repro.sunway.costmodel.charge_batched_rate_eval`
+        with the engine geometry — the big-fusion batched operator flow of
+        Sec. 3.5 / Fig. 9 that the deterministic tiled kernel executes.
+        Pass ``None`` to detach.  Returns the ledger for chaining.
+        """
+        self._ledger = ledger
+        return ledger
+
+    def _charge_rate_eval(self, n_vets: int) -> None:
+        if self._ledger is None or n_vets == 0:
+            return
+        channels = getattr(self.potential, "network_channels", None)
+        if channels is None:
+            return
+        charge_batched_rate_eval(
+            self._ledger,
+            n_vets=n_vets,
+            n_states=self._n_states,
+            n_region=self.tet.n_region,
+            n_local=self.tet.net_ids.shape[1],
+            channels=channels,
+            fused=True,
+        )
 
     def trial_vets(self, vet: np.ndarray) -> np.ndarray:
         """All trial states as a ``(9, n_all)`` array.
@@ -192,6 +227,7 @@ class VacancySystemEvaluator:
         energies = self.potential.energies_from_counts(
             center_types, counts.reshape(-1, self.tet.n_shells, counts.shape[-1])
         ).reshape(n_states, n_region)
+        self._charge_rate_eval(1)
         totals = energies.sum(axis=1, dtype=np.float64)
         # The caller's VET is never mutated after a build (cache entries are
         # invalidated, not patched), so the 1NN slice can be shared directly.
@@ -205,6 +241,43 @@ class VacancySystemEvaluator:
             migrating_species=nn_species,
         )
 
+    def _dedup_rows(self, center_types, counts):
+        """First-occurrence / inverse maps of identical site rows, or None.
+
+        Two rows are identical when they share the centre species and the
+        whole shell-counts signature — then a row-invariant potential is
+        guaranteed to produce bit-identical energies for both, so only the
+        first occurrence needs evaluating.  Returns ``None`` (no dedup) for
+        potentials without that guarantee.
+
+        Rows whose values fit 8 bits pack into one int64 key per row (a
+        typed sort is far cheaper than byte-wise comparisons); wider rows
+        fall back to a raw-bytes key.
+        """
+        if not getattr(self.potential, "batch_row_invariant", False):
+            return None
+        vals = counts.reshape(counts.shape[0], -1)
+        n_vals = vals.shape[1]
+        if (n_vals + 1) * 8 <= 64 and (
+            vals.size == 0 or vals.max() < 256
+        ):
+            packed = center_types.astype(np.int64)
+            ivals = vals.astype(np.int64)
+            for j in range(n_vals):
+                packed = (packed << 8) | ivals[:, j]
+            key = packed
+        else:
+            wide = np.empty((vals.shape[0], n_vals + 1), dtype=np.float32)
+            wide[:, 0] = center_types
+            wide[:, 1:] = vals
+            key = np.ascontiguousarray(wide).view(
+                np.dtype((np.void, wide.shape[1] * wide.itemsize))
+            ).ravel()
+        _, first, inverse = np.unique(
+            key, return_index=True, return_inverse=True
+        )
+        return first, inverse
+
     def evaluate_batch(self, vets: np.ndarray) -> StateEnergiesBatch:
         """Hop energetics of ``B`` vacancy systems in one fused pipeline.
 
@@ -215,9 +288,22 @@ class VacancySystemEvaluator:
         invoked exactly once on the stacked site batch — for the NNP that is
         one batched GEMM stack instead of ``B`` small ones.
 
-        Per-row results are identical to :meth:`evaluate` (bit-identical for
-        the tabulated/EAM potentials, whose per-site energies are row
-        independent; within float32-GEMM reassociation for the NNP).
+        On top of the stacking, the batch dedupes identical site rows
+        (same centre species, same shell counts) before touching the
+        potential and scatters the energies back — the row-level analogue of
+        the paper's VET hash cache (Sec. 3.4).  Trial states of one vacancy
+        differ only near the swapped pair and neighbouring systems overlap,
+        so in a dilute alloy the unique-row fraction is tiny and the
+        batched path evaluates orders of magnitude fewer network rows than
+        the scalar one.  Dedup is sound *only* for row-invariant potentials
+        (``batch_row_invariant``): an identical row must produce identical
+        bits no matter which batch it lands in.
+
+        Per-row results are bit-identical to :meth:`evaluate` for every
+        shipped potential: the tabulated/EAM per-site energies are row
+        independent by construction, and the NNP's tiled-GEMM kernel
+        (:mod:`repro.operators.tilegemm`) fixes its call shapes and
+        accumulation order so batching cannot change any row's bits.
         """
         vets = np.asarray(vets)
         if vets.ndim != 2 or vets.shape[1] != self.tet.n_all:
@@ -241,9 +327,18 @@ class VacancySystemEvaluator:
         states = self.trial_vets_batch(vets).reshape(-1, self.tet.n_all)
         counts = self.region_features_counts(states)
         center_types = states[:, :n_region].reshape(-1)
-        energies = self.potential.energies_from_counts(
-            center_types, counts.reshape(-1, self.tet.n_shells, counts.shape[-1])
-        ).reshape(n_batch, self._n_states, n_region)
+        flat_counts = counts.reshape(-1, self.tet.n_shells, counts.shape[-1])
+        dedup = self._dedup_rows(center_types, flat_counts)
+        if dedup is not None:
+            first, inverse = dedup
+            energies = self.potential.energies_from_counts(
+                center_types[first], flat_counts[first]
+            )[inverse].reshape(n_batch, self._n_states, n_region)
+        else:
+            energies = self.potential.energies_from_counts(
+                center_types, flat_counts
+            ).reshape(n_batch, self._n_states, n_region)
+        self._charge_rate_eval(n_batch)
         totals = energies.sum(axis=2, dtype=np.float64)
         nn_species = vets[:, 1 : 1 + n_dir]
         valid = nn_species != self.vacancy_code

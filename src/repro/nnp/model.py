@@ -38,12 +38,14 @@ class NNPotential(CountsPotential):
         Cutoff radius in Angstrom (for the continuous path).
     """
 
-    #: float32 GEMMs through BLAS pick blocking (and thus accumulation
-    #: order) based on the row count, so per-row energies can differ in the
-    #: last bits between batch sizes.  The engines therefore keep the scalar
-    #: miss path for the NNP unless batching is forced — the Fig. 8
-    #: cache-equivalence guarantee stays bitwise.
-    batch_row_invariant = False
+    #: All rigid-lattice inference runs through the deterministic
+    #: tiled-GEMM kernel (:mod:`repro.operators.tilegemm`): every GEMM call
+    #: has a fixed ``(m_tile, k_tile)`` shape with partial products summed
+    #: in a fixed order, so each atom's energy is bit-identical whether it
+    #: is evaluated alone or inside any batch.  The engines' ``auto``
+    #: batching therefore takes the batched miss path for the NNP while the
+    #: Fig. 8 cache-equivalence guarantee stays bitwise.
+    batch_row_invariant = True
 
     def __init__(
         self,
@@ -64,10 +66,12 @@ class NNPotential(CountsPotential):
         self.shell_distances = table.shell_distances
         n_feat = expected
         # Standardiser and energy references; identity until trained.
-        self.feature_mean = np.zeros(n_feat, dtype=np.float32)
-        self.feature_std = np.ones(n_feat, dtype=np.float32)
-        self.reference_energies = np.zeros(self.n_elements, dtype=np.float64)
-        self.energy_scale = 1.0
+        self.set_standardisation(
+            np.zeros(n_feat, dtype=np.float32),
+            np.ones(n_feat, dtype=np.float32),
+            np.zeros(self.n_elements, dtype=np.float64),
+            1.0,
+        )
 
     # ------------------------------------------------------------------
     # Standardisation plumbing (set by the trainer)
@@ -79,15 +83,40 @@ class NNPotential(CountsPotential):
         reference_energies: np.ndarray,
         energy_scale: float,
     ) -> None:
-        """Install the feature scaler and energy references fitted in training."""
+        """Install the feature scaler and energy references fitted in training.
+
+        Zero-variance features (constant over the training set — common for
+        shells a species never reaches) are clamped to a unit standard
+        deviation here, at install time: dividing by ``std == 0`` would turn
+        every downstream energy into NaN.  The clamp is exact for such
+        features because their centred value is always 0 anyway.
+        """
         self.feature_mean = np.asarray(feature_mean, dtype=np.float32)
-        self.feature_std = np.asarray(feature_std, dtype=np.float32)
+        std = np.asarray(feature_std, dtype=np.float32).copy()
+        std[~(std > 0.0)] = 1.0  # also catches NaN stds
+        self.feature_std = std
         self.reference_energies = np.asarray(reference_energies, dtype=np.float64)
         self.energy_scale = float(energy_scale)
+        # Per-call overhead killers for the inference hot loop: the divide
+        # becomes a cached multiply, and the per-type reference gather runs
+        # against a padded table whose extra slot absorbs vacancy codes.
+        self._inv_std = (
+            np.float32(1.0) / self.feature_std
+        ).astype(np.float32)
+        self._ref_padded = np.concatenate(
+            [self.reference_energies.astype(np.float64), [0.0]]
+        )
 
     def normalise(self, features: np.ndarray) -> np.ndarray:
-        """Standardise raw descriptor features."""
-        return (features.astype(np.float32) - self.feature_mean) / self.feature_std
+        """Standardise raw descriptor features (cached reciprocal scale)."""
+        out = np.subtract(features, self.feature_mean, dtype=np.float32)
+        out *= self._inv_std
+        return out
+
+    @property
+    def network_channels(self) -> Tuple[int, ...]:
+        """Layer widths of the atomistic networks (for Fig. 9 cost charging)."""
+        return self.networks.channels
 
     # ------------------------------------------------------------------
     # Rigid-lattice path (CountsPotential, used by the KMC engines)
@@ -107,27 +136,37 @@ class NNPotential(CountsPotential):
         Routes the atomistic networks through
         :meth:`~repro.nnp.network.ElementNetworks.forward_big_fusion`, so an
         optional :class:`~repro.sunway.costmodel.CostLedger` receives the
-        modeled Sunway cost of the whole batched evaluation.  Results agree
-        with the plain path to float32 GEMM blocking.
+        modeled Sunway cost of the whole batched evaluation.  Both paths run
+        the same deterministic tiled-GEMM kernel, so results are
+        bit-identical to :meth:`energies_from_counts`.
         """
         center_types = np.asarray(center_types)
         feats = self.table.features_from_counts(counts)
-        is_atom = center_types < self.n_elements
-        t = np.where(is_atom, center_types, 0)
-        norm = self.normalise(feats)
-        net = self.networks.forward_big_fusion(
-            norm, t, spec=spec, ledger=ledger
-        ).astype(np.float64)
-        energies = self.reference_energies[t] + self.energy_scale * net
-        return np.where(is_atom, energies, 0.0)
+        return self._atom_energies(feats, center_types, spec=spec, ledger=ledger)
 
-    def _atom_energies(self, features: np.ndarray, species: np.ndarray) -> np.ndarray:
-        """Per-atom energies; vacancies get exactly 0."""
+    def _atom_energies(
+        self,
+        features: np.ndarray,
+        species: np.ndarray,
+        spec=None,
+        ledger=None,
+    ) -> np.ndarray:
+        """Per-atom energies; vacancies get exactly 0.
+
+        One shared path for scalar and batched callers: the deterministic
+        tiled kernel makes each row a pure function of that row's features,
+        and the reference-energy gather runs once against the padded table
+        (vacancy codes hit the zero slot) instead of per direction.
+        """
+        species = np.asarray(species)
         is_atom = species < self.n_elements
         t = np.where(is_atom, species, 0)
         norm = self.normalise(features)
-        net = self.networks.forward(norm, t).astype(np.float64)
-        energies = self.reference_energies[t] + self.energy_scale * net
+        net = self.networks.forward_big_fusion(
+            norm, t, spec=spec, ledger=ledger
+        ).astype(np.float64)
+        refs = self._ref_padded[np.where(is_atom, species, self.n_elements)]
+        energies = refs + self.energy_scale * net
         return np.where(is_atom, energies, 0.0)
 
     # ------------------------------------------------------------------

@@ -230,20 +230,42 @@ class ElementNetworks:
         self.n_elements = n_elements
         self.channels = tuple(int(c) for c in channels)
         self.dtype = np.dtype(dtype)
-        # Lazily-built per-element big-fusion executors, keyed by machine
-        # spec.  They alias the live weight arrays (set_parameters copies in
-        # place), so no invalidation on training updates is needed.
-        self._fusers: Dict[Tuple[int, int], object] = {}
+        # Lazily-built per-element deterministic tiled-GEMM executors
+        # (:class:`~repro.operators.tilegemm.TileGEMMKernel`).  They alias
+        # the live weight arrays (set_parameters copies in place), so no
+        # invalidation on training updates is needed.  The tile plan is
+        # pinned to the canonical machine spec, so every inference call —
+        # whatever spec it charges costs against — runs the exact same
+        # accumulation order.
+        self._fusers: Dict[int, object] = {}
+
+    def _kernel_for(self, e: int):
+        """The cached deterministic inference kernel for element ``e``."""
+        kernel = self._fusers.get(e)
+        if kernel is None:
+            from ..operators.tilegemm import TileGEMMKernel
+
+            net = self.nets[e]
+            kernel = TileGEMMKernel(
+                net.weights, net.biases, dtype=self.dtype
+            )
+            self._fusers[e] = kernel
+        return kernel
 
     def forward(self, features: np.ndarray, species: np.ndarray) -> np.ndarray:
-        """Per-atom energies: each atom is routed to its element's network."""
+        """Per-atom energies: each atom is routed to its element's network.
+
+        Inference runs through the deterministic tiled-GEMM kernel (same
+        executor as :meth:`forward_big_fusion`), so each atom's energy is
+        bit-identical regardless of how many other atoms share the call.
+        """
         features = np.asarray(features, dtype=self.dtype)
         species = np.asarray(species)
         energies = np.zeros(features.shape[0], dtype=self.dtype)
-        for e, net in self.nets.items():
+        for e in self.nets:
             mask = species == e
             if np.any(mask):
-                energies[mask] = net.forward(features[mask])
+                energies[mask] = self._kernel_for(e)(features[mask])[:, 0]
         return energies
 
     def forward_big_fusion(
@@ -255,38 +277,31 @@ class ElementNetworks:
     ):
         """Per-atom energies through the whole-network fused operator.
 
-        Same element routing as :meth:`forward`, but each subnetwork executes
-        via a cached :class:`~repro.operators.bigfusion.BigFusionOperator`
-        (paper Sec. 3.5): the atom batch stays LDM-resident through all
-        layers, and — when a ``ledger`` is given — DMA/RMA/SIMD costs are
-        charged per Algorithm 1.  The arithmetic is the same fused-layer
-        chain as :meth:`forward`, so results agree to float32 GEMM blocking.
+        Same element routing — and the exact same
+        :class:`~repro.operators.tilegemm.TileGEMMKernel` arithmetic, hence
+        bit-identical results — as :meth:`forward`, with the big-fusion cost
+        accounting of paper Sec. 3.5 on top: when a ``ledger`` is given,
+        DMA/RMA/SIMD costs are charged per Algorithm 1.
 
         Parameters
         ----------
         spec:
-            Machine model (defaults to the SW26010-pro).
+            Accepted for backward compatibility; the tile plan is pinned to
+            the canonical SW26010-pro so the accumulation order (and thus
+            the bits) cannot depend on the machine model being studied.
         ledger:
             Optional :class:`~repro.sunway.costmodel.CostLedger` accumulating
             the modeled cost of every per-element launch.
         """
-        from ..operators.bigfusion import BigFusionOperator
-        from ..sunway.spec import SW26010_PRO
-
-        spec = SW26010_PRO if spec is None else spec
         features = np.asarray(features, dtype=self.dtype)
         species = np.asarray(species)
         energies = np.zeros(features.shape[0], dtype=self.dtype)
-        for e, net in self.nets.items():
+        for e in self.nets:
             mask = species == e
             if not np.any(mask):
                 continue
-            key = (e, id(spec))
-            fuser = self._fusers.get(key)
-            if fuser is None:
-                fuser = BigFusionOperator(net.weights, net.biases, spec=spec)
-                self._fusers[key] = fuser
-            energies[mask] = fuser(features[mask], ledger=ledger)[:, 0]
+            kernel = self._kernel_for(e)
+            energies[mask] = kernel(features[mask], ledger=ledger)[:, 0]
         return energies
 
     def input_gradient(self, features: np.ndarray, species: np.ndarray) -> np.ndarray:

@@ -4,6 +4,7 @@ from .bigfusion import BigFusionOperator
 from .conv import bias_add, conv1x1_loop, conv1x1_matmul, relu
 from .feature_op import FEATURE_ENTRY_BYTES, FastFeatureOperator, features_mpe_serial
 from .fused import fused_layer, layered_forward
+from .tilegemm import TileGEMMKernel, TilePlan, plan_tiles, tiled_matmul
 from .variants import (
     FUSED_GEMM_EFF,
     MATMUL_BLOCKING,
@@ -25,6 +26,10 @@ __all__ = [
     "features_mpe_serial",
     "fused_layer",
     "layered_forward",
+    "TileGEMMKernel",
+    "TilePlan",
+    "plan_tiles",
+    "tiled_matmul",
     "FUSED_GEMM_EFF",
     "MATMUL_BLOCKING",
     "SIMD_GEMM_EFF",

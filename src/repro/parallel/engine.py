@@ -104,7 +104,9 @@ class RankState:
             periodic_half=None,
             keys=[tuple(int(v) for v in h) for h in self.vacancies],
             # Batched miss path only when per-row results are guaranteed
-            # independent of the batch shape (see CountsPotential).
+            # independent of the batch shape (see CountsPotential).  All
+            # shipped potentials qualify, the NNP via the deterministic
+            # tiled-GEMM kernel (repro.operators.tilegemm).
             build_entries=(
                 self._build_rates_batch
                 if getattr(evaluator.potential, "batch_row_invariant", False)
@@ -356,9 +358,20 @@ class SublatticeKMC:
                     rng=np.random.default_rng(seed + r),
                 )
             )
+        self.evaluator = evaluator
         self.time = 0.0
         self.sector_index = 0
         self.cycles: List[CycleStats] = []
+
+    def attach_cost_ledger(self, ledger):
+        """Charge all ranks' rate evaluations to ``ledger`` (Fig. 9 model).
+
+        The ranks share one
+        :class:`~repro.core.vacancy_system.VacancySystemEvaluator`, so a
+        single attach covers every scalar and batched miss evaluation in the
+        parallel campaign.
+        """
+        return self.evaluator.attach_cost_ledger(ledger)
 
     # ------------------------------------------------------------------
     def _kernel_counters(self) -> Dict[str, int]:

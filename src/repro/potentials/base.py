@@ -40,12 +40,15 @@ class CountsPotential(ABC):
     #: Whether :meth:`energies_from_counts` is *row-invariant*: row ``i`` of
     #: the result is bit-identical no matter which other rows share the call.
     #: Exact counts-tabulated potentials qualify (each row is an independent
-    #: einsum/table reduction), so the engines may fuse cache misses into one
-    #: batched evaluation without perturbing fixed-seed trajectories.
-    #: Implementations whose per-row result depends on the batch shape (e.g.
-    #: float32 GEMM through BLAS, whose blocking changes with the row count)
-    #: must set this to ``False``; the engines then keep the scalar miss path
-    #: unless batching is forced.
+    #: einsum/table reduction), and since the NNP routed its inference
+    #: through the deterministic tiled-GEMM kernel
+    #: (:mod:`repro.operators.tilegemm` — fixed call shapes, fixed
+    #: accumulation order) it qualifies too, so the engines may fuse cache
+    #: misses into one batched evaluation without perturbing fixed-seed
+    #: trajectories.  Implementations whose per-row result depends on the
+    #: batch shape (e.g. raw float32 GEMM through BLAS, whose blocking
+    #: changes with the row count) must set this to ``False``; the engines
+    #: then keep the scalar miss path unless batching is forced.
     batch_row_invariant: bool = True
 
     @property

@@ -2,10 +2,12 @@
 
 The contract under test (paper Sec. 3.4/3.5 applied to rate evaluation):
 batching cache misses through ``evaluate_batch`` / ``rates_batch`` changes
-throughput, never physics.  For counts-tabulated potentials every per-row
-quantity must be *bit-identical* to the scalar path; for the NNP (float32
-GEMMs whose blocking depends on the row count) agreement is to tight
-tolerance and the engines fall back to scalar misses by default.
+throughput, never physics.  Every per-row quantity must be *bit-identical*
+to the scalar path — for counts-tabulated potentials because each row is an
+independent exact reduction, and for the NNP because its inference runs
+through the deterministic tiled-GEMM kernel (fixed call shapes, fixed
+accumulation order), which is what lets ``batching="auto"`` take the
+batched miss path for NNP campaigns too.
 """
 
 from __future__ import annotations
@@ -86,16 +88,16 @@ class TestEvaluateBatch:
             assert np.array_equal(row.valid, scalar.valid)
             assert np.array_equal(row.migrating_species, scalar.migrating_species)
 
-    def test_nnp_close_to_scalar(self, tet_small, nnp_small):
-        """Float32 GEMM blocking may differ per batch size — tolerance only."""
+    def test_nnp_bitwise_equal_to_scalar(self, tet_small, nnp_small):
+        """The tiled kernel makes NNP rows batch-independent — bit-exact."""
         ev = VacancySystemEvaluator(tet_small, nnp_small)
         vets = _random_vets(ev, 6, seed=5)
         batch = ev.evaluate_batch(vets)
         for b in range(6):
             scalar = ev.evaluate(vets[b])
             row = batch.row(b)
-            assert row.initial == pytest.approx(scalar.initial, abs=1e-5)
-            np.testing.assert_allclose(row.delta, scalar.delta, atol=1e-6)
+            assert row.initial == scalar.initial
+            assert np.array_equal(row.delta, scalar.delta)
             assert np.array_equal(row.valid, scalar.valid)
 
     def test_nnp_single_row_batch_is_bitwise(self, tet_small, nnp_small):
@@ -201,24 +203,35 @@ class TestEngineBatching:
         assert summary["batched_rows"] == summary["cache_misses"]
         assert summary["max_batch_size"] >= summary["mean_batch_size"] > 0.0
 
-    def test_auto_keeps_nnp_scalar(self, tet_small, nnp_small):
-        """The NNP is not batch-row-invariant -> auto falls back to scalar."""
+    def test_auto_batches_nnp(self, tet_small, nnp_small):
+        """The tiled kernel makes the NNP row-invariant -> auto batches it."""
+        assert nnp_small.batch_row_invariant is True
         lattice = _make_lattice(7)
         engine = TensorKMCEngine(
             lattice, nnp_small, tet_small, rng=np.random.default_rng(0)
         )
-        assert engine.batching == "scalar"
-        engine.run(n_steps=5)
-        assert engine.summary()["rate_batches"] == 0
-
-    def test_forced_nnp_batching_runs(self, tet_small, nnp_small):
-        lattice = _make_lattice(7)
-        engine = TensorKMCEngine(
-            lattice, nnp_small, tet_small,
-            rng=np.random.default_rng(0), batching="batched",
-        )
+        assert engine.batching == "batched"
         engine.run(n_steps=5)
         assert engine.summary()["rate_batches"] >= 1
+
+    def test_nnp_batched_and_scalar_trajectories_identical(
+        self, tet_small, nnp_small
+    ):
+        """Batched vs forced-scalar NNP campaigns agree event for event."""
+        streams = []
+        for batching in ("batched", "scalar"):
+            lattice = _make_lattice(7)
+            engine = TensorKMCEngine(
+                lattice, nnp_small, tet_small,
+                rng=np.random.default_rng(42), batching=batching,
+            )
+            events = [engine.step() for _ in range(10)]
+            streams.append(
+                ([(e.from_site, e.to_site, e.dt) for e in events],
+                 lattice.occupancy.copy())
+            )
+        assert streams[0][0] == streams[1][0]
+        assert np.array_equal(streams[0][1], streams[1][1])
 
     def test_uncached_baseline_batches_whole_population(self, tet_small, eam_small):
         """OpenKMC rebuilds everything per step -> batch == population."""
@@ -266,7 +279,8 @@ class TestFusedNNPCounts:
         ledger = CostLedger(SW26010_PRO)
         fused = nnp_small.energies_from_counts_fused(types, counts, ledger=ledger)
         plain = nnp_small.energies_from_counts(types, counts)
-        np.testing.assert_allclose(fused, plain, atol=1e-6)
+        # One deterministic tiled kernel behind both entry points: bit-exact.
+        assert np.array_equal(fused, plain)
         assert ledger.simd_flops > 0 and ledger.dma_bytes > 0
         # Vacancy centres stay exactly zero through the fused path too.
         assert np.all(fused[types == nnp_small.vacancy_code] == 0.0)
