@@ -1,6 +1,6 @@
 # Convenience targets for the TensorKMC reproduction.
 
-.PHONY: install test bench bench-smoke fault-suite check examples snapshot
+.PHONY: install test bench bench-smoke perf-trajectory fault-suite check examples snapshot
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,12 @@ bench:
 bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_kernel_smoke.py
 
+# Perf trajectory: diff the freshly written BENCH_kernel.json against the
+# committed copy (git:HEAD) and fail on any per-event time or per-phase
+# breakdown that regressed by more than PERF_TOLERANCE (default 10%).
+perf-trajectory:
+	python benchmarks/check_perf_trajectory.py
+
 # Resilience suite: parallel checkpoint/restart + comm fault injection
 # tests, then the checkpoint smoke benchmark (save/load cost + bit-exact
 # resume, writes BENCH_checkpoint.json).
@@ -26,10 +32,12 @@ fault-suite:
 	PYTHONPATH=src python -m pytest -x -q tests/test_parallel_checkpoint.py tests/test_fault_injection.py
 	PYTHONPATH=src python benchmarks/bench_checkpoint_smoke.py
 
-# What CI runs: tier-1 tests + the kernel smoke benchmark + the fault suite.
+# What CI runs: tier-1 tests + the kernel smoke benchmark (followed by the
+# perf-trajectory diff against the committed baseline) + the fault suite.
 check:
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) bench-smoke
+	$(MAKE) perf-trajectory
 	$(MAKE) fault-suite
 
 examples:

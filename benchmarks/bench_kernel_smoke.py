@@ -15,6 +15,7 @@ pytest (``pytest benchmarks/bench_kernel_smoke.py``).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import sys
 import time
@@ -23,6 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.engine import TensorKMCEngine
+from repro.core.profiling import PHASES
 from repro.core.tet import TripleEncoding
 from repro.lattice.occupancy import LatticeState
 from repro.nnp import ElementNetworks, NNPotential
@@ -48,6 +50,20 @@ MIN_NNP_SPEEDUP = 1.5
 #: Interleaved scalar/batched rounds for the NNP comparison (drift in a
 #: shared runner hits both modes equally).
 NNP_MISS_REPEATS = 5
+#: Hot-path comparison: vectorized SoA event loop vs the legacy per-slot
+#: scan (``EventKernel.set_hot_path("legacy")`` + always-dedup evaluation,
+#: the faithful pre-SoA cost shape) at two vacancy densities.
+HOT_PATH_SHAPE = (16, 16, 16)
+HOT_PATH_EVENTS = 400
+#: Interleaved legacy/vectorized rounds; each mode keeps its best round.
+HOT_PATH_ROUNDS = 3
+#: (vacancy density, speedup gate): the bench's standard density carries
+#: the headline >= 1.8x acceptance target; the 2x sparser regime keeps a
+#: lower floor because the batched rate evaluation — paid identically by
+#: both modes — dominates per-event cost there, so the layout speedup
+#: necessarily flattens towards 1 as the density drops.
+HOT_PATH_GATES = ((0.02, 1.8), (0.01, 1.4))
+MIN_HOT_PATH_SPEEDUP = HOT_PATH_GATES[0][1]
 REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
 
 
@@ -82,6 +98,10 @@ def run_box(shape, seed: int = 7) -> dict:
         "cycles": cycles,
         "compute_seconds": compute_seconds,
         "per_event_us": 1e6 * compute_seconds / max(events, 1),
+        "phase_us_per_event": {
+            name: 1e6 * summary.get(f"{name}_seconds", 0.0) / max(events, 1)
+            for name in PHASES
+        },
         "hit_rate": summary["hit_rate"],
         "mean_selection_depth": (
             summary["selection_depth"] / summary["selections"]
@@ -227,11 +247,100 @@ def run_nnp_miss_path(shape=(12, 12, 12), seed: int = 13) -> dict:
     }
 
 
+def _hot_path_engine(
+    mode: str, shape, vacancy_fraction: float, seed: int
+) -> TensorKMCEngine:
+    """A serial engine in one hot-path mode over an identical lattice."""
+    tet = TripleEncoding(rcut=2.87)
+    potential = EAMPotential(tet.shell_distances)
+    lattice = LatticeState(shape)
+    lattice.randomize_alloy(
+        np.random.default_rng(seed),
+        cu_fraction=0.05,
+        vacancy_fraction=vacancy_fraction,
+    )
+    engine = TensorKMCEngine(
+        lattice, potential, tet, rng=np.random.default_rng(seed + 1)
+    )
+    if mode == "legacy":
+        # Faithful pre-SoA configuration: per-slot Python refresh loops,
+        # scalar Fenwick updates, spatial-hash invalidation, and the
+        # always-dedup'd batch evaluation.
+        engine.evaluator.dedup = "always"
+        engine.kernel.set_hot_path("legacy")
+    return engine
+
+
+def _hot_path_round(mode: str, vacancy_fraction: float, seed: int):
+    """One timed run of HOT_PATH_EVENTS events in the given mode."""
+    engine = _hot_path_engine(mode, HOT_PATH_SHAPE, vacancy_fraction, seed)
+    t0 = time.perf_counter()
+    engine.run(n_steps=HOT_PATH_EVENTS)
+    seconds = time.perf_counter() - t0
+    digest = hashlib.sha256(engine.lattice.occupancy.tobytes()).hexdigest()
+    return seconds, digest, engine
+
+
+def run_hot_path(seed: int = 17) -> dict:
+    """Vectorized SoA event loop vs the legacy per-slot scan.
+
+    Both modes replay the same seeded trajectory (the SoA rewrite changes
+    data layout, not semantics — asserted here via the final-occupancy
+    digest and final clock), so the speedup is a pure like-for-like cost
+    ratio.  Rounds are interleaved so runner-load drift hits both modes.
+    """
+    densities = []
+    ok = True
+    for frac, min_speedup in HOT_PATH_GATES:
+        best = {"legacy": np.inf, "vectorized": np.inf}
+        digests: dict = {}
+        times: dict = {}
+        phases: dict = {}
+        for _ in range(HOT_PATH_ROUNDS):
+            for mode in ("legacy", "vectorized"):
+                seconds, digest, engine = _hot_path_round(mode, frac, seed)
+                best[mode] = min(best[mode], seconds)
+                digests[mode] = digest
+                times[mode] = engine.time
+                if mode == "vectorized":
+                    phases = {
+                        name: 1e6 * secs / HOT_PATH_EVENTS
+                        for name, secs in engine.profiler.seconds.items()
+                    }
+        identical = (
+            digests["legacy"] == digests["vectorized"]
+            and times["legacy"] == times["vectorized"]
+        )
+        speedup = best["legacy"] / max(best["vectorized"], 1e-12)
+        entry = {
+            "vacancy_fraction": frac,
+            "events": HOT_PATH_EVENTS,
+            "legacy_per_event_us": 1e6 * best["legacy"] / HOT_PATH_EVENTS,
+            "vectorized_per_event_us": (
+                1e6 * best["vectorized"] / HOT_PATH_EVENTS
+            ),
+            "phase_us_per_event": phases,
+            "speedup": speedup,
+            "min_speedup": min_speedup,
+            "trajectory_identical": bool(identical),
+            "ok": bool(identical) and speedup >= min_speedup,
+        }
+        densities.append(entry)
+        ok = ok and entry["ok"]
+    return {
+        "shape": list(HOT_PATH_SHAPE),
+        "min_speedup": MIN_HOT_PATH_SPEEDUP,
+        "densities": densities,
+        "ok": ok,
+    }
+
+
 def run_smoke() -> dict:
     small = run_box((16, 8, 8))
     large = run_box((16, 16, 16))
     miss = run_miss_path()
     nnp_miss = run_nnp_miss_path()
+    hot = run_hot_path()
     ratio = large["per_event_us"] / small["per_event_us"]
     report = {
         "benchmark": "kernel_smoke",
@@ -243,7 +352,9 @@ def run_smoke() -> dict:
         "max_ratio": MAX_RATIO,
         "miss_path": miss,
         "nnp_miss_path": nnp_miss,
-        "ok": ratio < MAX_RATIO and miss["ok"] and nnp_miss["ok"],
+        "hot_path": hot,
+        "ok": ratio < MAX_RATIO and miss["ok"] and nnp_miss["ok"]
+        and hot["ok"],
     }
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -271,6 +382,13 @@ def test_nnp_batched_miss_path_is_faster_and_bitwise():
     assert nnp_miss["speedup"] >= MIN_NNP_SPEEDUP, nnp_miss
 
 
+def test_hot_path_is_faster_and_trajectory_identical():
+    hot = run_hot_path()
+    for entry in hot["densities"]:
+        assert entry["trajectory_identical"], entry
+        assert entry["speedup"] >= entry["min_speedup"], entry
+
+
 def main() -> int:
     report = run_smoke()
     print(json.dumps(report, indent=2))
@@ -294,6 +412,15 @@ def main() -> int:
         f"speedup {nnp['speedup']:.2f}x (min {MIN_NNP_SPEEDUP}), "
         f"bitwise {'OK' if nnp['bitwise_invariant'] else 'BROKEN'}"
     )
+    for entry in report["hot_path"]["densities"]:
+        print(
+            f"hot path (vac {entry['vacancy_fraction']}): "
+            f"{entry['legacy_per_event_us']:.1f} us legacy vs "
+            f"{entry['vectorized_per_event_us']:.1f} us vectorized -> "
+            f"speedup {entry['speedup']:.2f}x "
+            f"(min {entry['min_speedup']}), trajectory "
+            f"{'OK' if entry['trajectory_identical'] else 'BROKEN'}"
+        )
     if not report["ok"]:
         if report["per_event_ratio"] >= MAX_RATIO:
             print("FAIL: per-event cost scales with the active-vacancy count")
@@ -303,6 +430,11 @@ def main() -> int:
             print(
                 "FAIL: NNP batched miss path misses its speedup gate or is "
                 "not bitwise-invariant"
+            )
+        if not report["hot_path"]["ok"]:
+            print(
+                "FAIL: vectorized hot path misses its speedup gate or "
+                "changed the trajectory"
             )
         return 1
     print(f"OK — report written to {REPORT_PATH}")

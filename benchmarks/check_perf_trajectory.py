@@ -1,0 +1,152 @@
+"""Diff a fresh BENCH_kernel.json against the committed baseline.
+
+``make bench-smoke`` rewrites ``BENCH_kernel.json`` with the timings of the
+current tree; this script compares the fresh numbers against the committed
+copy (``git show HEAD:BENCH_kernel.json`` by default) and fails when any
+tracked per-event time regressed by more than the tolerance.  It gives the
+perf trajectory of the repo a memory: a PR that slows the hot path down
+fails CI even though every correctness test still passes.
+
+Only slowdowns fail; speedups simply become the new baseline once the
+refreshed report is committed.  Metrics absent from the baseline (older
+reports predate the phase breakdown) are skipped, so the gate tightens
+as the report grows without ever breaking on history.
+
+Usage::
+
+    python benchmarks/check_perf_trajectory.py \
+        [--fresh BENCH_kernel.json] [--baseline git:HEAD | path.json] \
+        [--tolerance 0.10]
+
+No ``repro`` imports — the script must run anywhere a checkout and the two
+JSON reports exist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_FRESH = REPO_ROOT / "BENCH_kernel.json"
+DEFAULT_TOLERANCE = float(os.environ.get("PERF_TOLERANCE", "0.10"))
+#: Timings below this are timer noise, not signal; they never gate.
+MIN_US = 5.0
+
+
+def _dig(report: dict, path: str):
+    """Fetch a dotted path (list indices allowed) or None when absent."""
+    node = report
+    for part in path.split("."):
+        if isinstance(node, list):
+            try:
+                node = node[int(part)]
+            except (IndexError, ValueError):
+                return None
+        elif isinstance(node, dict):
+            if part not in node:
+                return None
+            node = node[part]
+        else:
+            return None
+    return node
+
+
+def tracked_metrics(report: dict) -> list:
+    """Dotted paths of every per-event time the trajectory gate watches."""
+    metrics = [
+        "small.per_event_us",
+        "large.per_event_us",
+        "miss_path.batched_per_event_us",
+        "nnp_miss_path.batched_per_event_us",
+    ]
+    for box in ("small", "large"):
+        phases = _dig(report, f"{box}.phase_us_per_event")
+        if isinstance(phases, dict):
+            metrics.extend(f"{box}.phase_us_per_event.{p}" for p in phases)
+    densities = _dig(report, "hot_path.densities")
+    if isinstance(densities, list):
+        for i, entry in enumerate(densities):
+            metrics.append(f"hot_path.densities.{i}.vectorized_per_event_us")
+            phases = entry.get("phase_us_per_event", {})
+            metrics.extend(
+                f"hot_path.densities.{i}.phase_us_per_event.{p}"
+                for p in phases
+            )
+    return metrics
+
+
+def load_baseline(spec: str) -> dict:
+    """Load the baseline report from a path or a ``git:REF`` spec."""
+    if spec.startswith("git:"):
+        ref = spec[len("git:"):]
+        blob = subprocess.run(
+            ["git", "show", f"{ref}:BENCH_kernel.json"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout
+        return json.loads(blob)
+    return json.loads(Path(spec).read_text())
+
+
+def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
+    """Regressions as (metric, baseline_us, fresh_us, ratio) tuples."""
+    regressions = []
+    for metric in tracked_metrics(fresh):
+        base = _dig(baseline, metric)
+        new = _dig(fresh, metric)
+        if base is None or new is None:
+            continue  # metric predates the baseline (or was dropped)
+        base = float(base)
+        new = float(new)
+        if base < MIN_US or new < MIN_US:
+            continue
+        ratio = new / base
+        if ratio > 1.0 + tolerance:
+            regressions.append((metric, base, new, ratio))
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default=str(DEFAULT_FRESH),
+                        help="freshly generated report (default: repo root)")
+    parser.add_argument("--baseline", default="git:HEAD",
+                        help="committed report: a path or git:REF")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed slowdown fraction (env PERF_TOLERANCE)")
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    try:
+        baseline = load_baseline(args.baseline)
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        print(f"perf-trajectory: no baseline at {args.baseline}; skipping")
+        return 0
+
+    checked = [
+        m for m in tracked_metrics(fresh)
+        if _dig(baseline, m) is not None and _dig(fresh, m) is not None
+    ]
+    regressions = compare(fresh, baseline, args.tolerance)
+    print(
+        f"perf-trajectory: {len(checked)} metrics vs {args.baseline} "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    for metric, base, new, ratio in regressions:
+        print(
+            f"  REGRESSION {metric}: {base:.1f} us -> {new:.1f} us "
+            f"({ratio:.2f}x)"
+        )
+    if regressions:
+        print("perf-trajectory: FAIL")
+        return 1
+    print("perf-trajectory: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ import numpy as np
 from .analysis import analyse_precipitation
 from .constants import CU_CONCENTRATION, TEMPERATURE_RPV, VACANCY_CONCENTRATION
 from .core import TensorKMCEngine, TripleEncoding
+from .core.profiling import PHASES
 from .io.snapshots import save_lattice
 from .io.xyz import write_xyz
 from .lattice import LatticeState
@@ -111,6 +112,22 @@ def _common_alloy_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
+def _print_hot_path_summary(summary, events: int) -> None:
+    """Per-phase timings and kernel counters shared by run/parallel output."""
+    for name in PHASES:
+        seconds = summary.get(f"{name}_seconds")
+        if seconds is None:
+            continue
+        us = 1e6 * seconds / events if events else 0.0
+        print(f"phase_{name}_us_per_event = {us:.3f}")
+    for key in ("cache_misses", "invalidations", "rates_evaluated"):
+        if key in summary:
+            print(f"{key} = {int(summary[key])}")
+    for key in ("mean_selection_depth", "mean_batch_size"):
+        if key in summary:
+            print(f"{key} = {summary[key]:.3f}")
+
+
 def _make_lattice(args) -> LatticeState:
     lattice = LatticeState((args.box,) * 3)
     vac = args.vacancies if args.vacancies is not None else VACANCY_CONCENTRATION
@@ -157,6 +174,7 @@ def _cmd_run(args) -> int:
     print(f"events = {engine.step_count}")
     print(f"time_s = {engine.time:.6e}")
     print(f"cache_hit_rate = {engine.cache.stats.hit_rate:.4f}")
+    _print_hot_path_summary(engine.summary(), engine.step_count)
     print(f"isolated_cu = {stats.isolated}")
     print(f"max_cluster = {stats.max_size}")
     print(f"number_density_m3 = {stats.number_density:.4e}")
@@ -229,6 +247,7 @@ def _cmd_parallel(args) -> int:
     print(f"time_s = {sim.time:.6e}")
     print(f"messages = {sim.world.stats.messages_sent}")
     print(f"bytes = {sim.world.stats.bytes_sent}")
+    _print_hot_path_summary(sim.summary(), sim.total_events)
     if args.checkpoint:
         print(f"checkpoint = {args.checkpoint}")
         print(f"recoveries = {recoveries}")

@@ -2,10 +2,11 @@
 
 from .engine import KMCEvent, NoMovesError, SerialAKMCBase, TensorKMCEngine
 from .kernel import EventKernel, KernelStats, SimpleRateEntry, SpatialHashIndex
+from .profiling import PhaseProfiler
 from .propensity import FenwickPropensity, LinearPropensity, PropensityStore
 from .rates import RateModel, residence_time
 from .tet import TripleEncoding
-from .vacancy_cache import CachedVacancySystem, VacancyCache
+from .vacancy_cache import BatchEntries, CachedVacancySystem, VacancyCache
 from .vacancy_system import StateEnergies, VacancySystemEvaluator
 
 __all__ = [
@@ -17,12 +18,14 @@ __all__ = [
     "KernelStats",
     "SimpleRateEntry",
     "SpatialHashIndex",
+    "PhaseProfiler",
     "FenwickPropensity",
     "LinearPropensity",
     "PropensityStore",
     "RateModel",
     "residence_time",
     "TripleEncoding",
+    "BatchEntries",
     "CachedVacancySystem",
     "VacancyCache",
     "StateEnergies",

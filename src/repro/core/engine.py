@@ -27,10 +27,11 @@ from ..constants import TEMPERATURE_RPV
 from ..lattice.occupancy import LatticeState
 from ..potentials.base import CountsPotential
 from .kernel import EventKernel, NoMovesError
+from .profiling import PhaseProfiler
 from .propensity import PropensityStore
 from .rates import RateModel, residence_time
 from .tet import TripleEncoding
-from .vacancy_cache import CachedVacancySystem, VacancyCache
+from .vacancy_cache import BatchEntries, CachedVacancySystem, VacancyCache
 from .vacancy_system import VacancySystemEvaluator
 
 __all__ = ["KMCEvent", "NoMovesError", "SerialAKMCBase", "TensorKMCEngine"]
@@ -153,6 +154,9 @@ class SerialAKMCBase:
         self.step_count = 0
         self.events: List[KMCEvent] = []
         self.record_events = False
+        #: Per-phase wall-time attribution of the event loop (rebuild /
+        #: select / hop / invalidate), surfaced through :meth:`summary`.
+        self.profiler = PhaseProfiler()
 
     # ------------------------------------------------------------------
     # Kernel plumbing (kept under their historical names)
@@ -187,13 +191,14 @@ class SerialAKMCBase:
             site=site, vet_ids=vet_ids, vet=vet, energies=energies, rates=rates
         )
 
-    def _build_for_sites(self, sites) -> List[CachedVacancySystem]:
+    def _build_for_sites(self, sites) -> BatchEntries:
         """Batched miss path: all queued vacancy systems in one fused pass.
 
         VET gathers, feature counts, and the potential evaluation all run
         once over the stacked ``(B, 9, n_all)`` trial states (see
-        :meth:`VacancySystemEvaluator.evaluate_batch`); the per-slot cache
-        entries hold row views into the shared batch arrays.
+        :meth:`VacancySystemEvaluator.evaluate_batch`).  The result stays in
+        array form: the kernel scatters the whole :class:`BatchEntries` into
+        the cache's slot arrays without per-slot Python objects.
         """
         ids = np.asarray([int(s) for s in sites], dtype=np.int64)
         half = self.lattice.half_coords(ids)
@@ -203,16 +208,10 @@ class SerialAKMCBase:
         vets = self.lattice.occupancy[vet_ids]
         energies = self.evaluator.evaluate_batch(vets)
         rates = self.rate_model.rates_batch(energies)
-        return [
-            CachedVacancySystem(
-                site=int(ids[b]),
-                vet_ids=vet_ids[b],
-                vet=vets[b],
-                energies=energies.row(b),
-                rates=rates[b],
-            )
-            for b in range(ids.shape[0])
-        ]
+        return BatchEntries(
+            sites=ids, vet_ids=vet_ids, vets=vets, energies=energies,
+            rates=rates,
+        )
 
     def build_system(self, slot: int) -> CachedVacancySystem:
         """Build the vacancy system of a slot from the current lattice."""
@@ -228,26 +227,34 @@ class SerialAKMCBase:
     def step(self) -> KMCEvent:
         """Execute one residence-time KMC event and advance the clock."""
         kernel = self.kernel
-        kernel.refresh()
-        total = kernel.total
-        if total <= 0.0:
-            raise NoMovesError("total propensity is zero — system is frozen")
-        u_select = self.rng.random() * total
-        slot, direction, entry = kernel.select(u_select)
+        profiler = self.profiler
+        with profiler.phase("rebuild"):
+            kernel.refresh()
+        with profiler.phase("select"):
+            total = kernel.total
+            if total <= 0.0:
+                raise NoMovesError(
+                    "total propensity is zero — system is frozen"
+                )
+            u_select = self.rng.random() * total
+            slot, direction, entry = kernel.select(u_select)
+            dt = residence_time(total, 1.0 - self.rng.random())
 
-        dt = residence_time(total, 1.0 - self.rng.random())
-
-        from_site = entry.site
-        nn_offset = self.tet.nn_offsets[direction]
-        to_site = int(self.lattice.neighbor_ids(from_site, nn_offset[None, :])[0])
-        migrating = int(self.lattice.occupancy[to_site])
-        self.lattice.swap(from_site, to_site)
-        kernel.move(slot, to_site)
-        kernel.invalidate_near(
-            self.lattice.half_coords(
-                np.asarray([from_site, to_site], dtype=np.int64)
+        with profiler.phase("hop"):
+            from_site = entry.site
+            nn_offset = self.tet.nn_offsets[direction]
+            to_site = int(
+                self.lattice.neighbor_ids(from_site, nn_offset[None, :])[0]
             )
-        )
+            migrating = int(self.lattice.occupancy[to_site])
+            self.lattice.swap(from_site, to_site)
+            kernel.move(slot, to_site)
+        with profiler.phase("invalidate"):
+            kernel.invalidate_near(
+                self.lattice.half_coords(
+                    np.asarray([from_site, to_site], dtype=np.int64)
+                )
+            )
 
         self.time += dt
         self.step_count += 1
@@ -319,10 +326,11 @@ class SerialAKMCBase:
         )
 
     def summary(self) -> Dict[str, float]:
-        """Merged engine + kernel instrumentation counters."""
+        """Merged engine + kernel instrumentation counters and phase times."""
         out = self.kernel.summary()
         out["steps"] = self.step_count
         out["time"] = self.time
+        out.update(self.profiler.summary())
         return out
 
 

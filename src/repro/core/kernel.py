@@ -5,19 +5,29 @@ selection, distance invalidation) and the parallel sublattice driver used to
 live in separate implementations; this module owns them once:
 
 * a keyed :class:`~repro.core.vacancy_cache.VacancyCache` holding per-vacancy
-  rate rows (slot-stable, with a free list for dynamic populations),
+  rate rows in structure-of-arrays form (slot-stable, with a free list for
+  dynamic populations),
 * a :class:`~repro.core.propensity.PropensityStore` over the per-slot total
   rates for the two-level selection — vacancy slot via the Fenwick tree,
   hop direction via the slot's cumulative rate row,
-* a :class:`SpatialHashIndex` that buckets vacancy positions into cells of
-  one invalidation radius, so post-hop / post-synchronisation invalidation
-  costs O(|changed sites|) instead of a scan over every cached entry.
+* vectorised distance invalidation: one broadcast minimum-image query of the
+  changed positions against every fresh centre, instead of a Python loop
+  over candidate slots.
 
 Drivers parameterise the kernel with two callbacks — ``build_entry(key)``
 computing a rate row (or a full :class:`CachedVacancySystem`) for a vacancy
 key, and ``position_of(key)`` mapping a key to integer half-unit coordinates
 — plus the distance semantics (periodic for the global serial lattice,
 open for a rank's padded window).
+
+Two hot-path implementations coexist behind :meth:`EventKernel.set_hot_path`:
+``"vectorized"`` (default) runs invalidation/refresh/activation as array
+sweeps over the cache's slot arrays; ``"legacy"`` keeps the pre-SoA per-slot
+loops and the 27-bucket :class:`SpatialHashIndex` narrowing.  Both produce
+bit-identical trajectories — the vectorised query evaluates the same
+distance test in the same arithmetic — which the equivalence tests and the
+``hot_path`` section of ``BENCH_kernel.json`` (old-vs-new per-event time)
+both rely on.
 
 Every kernel operation feeds the shared instrumentation counters
 (:class:`KernelStats` + the cache's hit/rebuild stats), which the engines
@@ -43,7 +53,7 @@ from typing import (
 import numpy as np
 
 from .propensity import FenwickPropensity, LinearPropensity, PropensityStore
-from .vacancy_cache import VacancyCache
+from .vacancy_cache import BatchEntries, SimpleRateEntry, VacancyCache
 
 __all__ = [
     "NoMovesError",
@@ -94,21 +104,6 @@ def select_direction(rates: np.ndarray, remainder: float) -> int:
 
 
 @dataclass
-class SimpleRateEntry:
-    """Minimal cache entry: just a per-direction rate row.
-
-    Used by drivers (the parallel ranks) that do not need the full
-    :class:`CachedVacancySystem` payload.
-    """
-
-    rates: np.ndarray
-
-    @property
-    def total_rate(self) -> float:
-        return float(self.rates.sum())
-
-
-@dataclass
 class KernelStats:
     """Selection-side instrumentation (cache counters live on the cache)."""
 
@@ -129,6 +124,11 @@ class SpatialHashIndex:
     within the reach of a query point lies in one of the 27 neighbouring
     buckets — ``candidates_near`` returns that superset and the kernel
     applies the exact (optionally periodic minimum-image) distance test.
+
+    The default (vectorised) hot path replaced the bucket narrowing with a
+    broadcast distance query over the cache's centre matrix; this index
+    remains as the ``"legacy"`` hot path (the old-vs-new benchmark) and as a
+    standalone structure.
     """
 
     def __init__(
@@ -239,10 +239,11 @@ class EventKernel:
         stale vacancies through one fused pipeline (the paper's big-fusion
         batching applied to rate evaluation).  When provided, ``refresh()``
         queues every stale slot and rebuilds them in a single call instead of
-        looping ``build_entry`` per slot; it must return one entry (or bare
-        rate row) per key, in key order.
+        looping ``build_entry`` per slot; it may return a
+        :class:`~repro.core.vacancy_cache.BatchEntries`, a bare ``(B, 8)``
+        rate matrix, or one entry (or bare rate row) per key, in key order.
     position_of:
-        ``key -> (3,)`` integer half-unit coordinates for the spatial index.
+        ``key -> (3,)`` integer half-unit coordinates for the centre matrix.
     threshold:
         Invalidation distance threshold, in the driver's distance units.
     scale:
@@ -260,6 +261,11 @@ class EventKernel:
     use_cache:
         When ``False`` every refresh first drops all entries ("cache all"
         semantics: no reuse at all, the OpenKMC baseline).
+    hot_path:
+        ``"vectorized"`` (default) for the SoA array sweeps, ``"legacy"``
+        for the historical per-slot loops + spatial-hash narrowing.  The two
+        are trajectory-equivalent; legacy exists for the old-vs-new
+        benchmark and the equivalence tests.
     """
 
     def __init__(
@@ -276,6 +282,7 @@ class EventKernel:
         build_entries: Optional[
             Callable[[Sequence[Hashable]], Sequence[object]]
         ] = None,
+        hot_path: str = "vectorized",
     ) -> None:
         self.build_entry = build_entry
         self.build_entries = build_entries
@@ -286,15 +293,59 @@ class EventKernel:
         self.cache = VacancyCache(keys)
         self.store = make_store(propensity, self.cache.n_slots)
         self._reach = max(1, int(np.ceil((self.threshold + 1e-9) / self.scale)))
-        self.index = SpatialHashIndex(self._reach, periodic_half)
+        self.periodic = (
+            None
+            if periodic_half is None
+            else np.asarray(periodic_half, dtype=np.int64)
+        )
+        self.index: Optional[SpatialHashIndex] = None
         self.stats = KernelStats()
-        self._stale: Set[int] = set()
-        #: Explicit active-slot set, or ``None`` meaning "all live slots"
-        #: (the serial engines); the parallel driver narrows it per sector.
-        self._active: Optional[Set[int]] = None
+        #: Physical active mask, or ``None`` meaning "all live slots" (the
+        #: serial engines); the parallel driver narrows it per sector.
+        self._active_mask: Optional[np.ndarray] = None
         for slot in self.cache.live_slots():
-            self.index.insert(slot, self.position_of(self.cache.key_of(slot)))
-            self._stale.add(slot)
+            self._set_centre(slot, self.position_of(self.cache.key_of(slot)))
+        self.hot_path = "vectorized"
+        if hot_path != "vectorized":
+            self.set_hot_path(hot_path)
+
+    # ------------------------------------------------------------------
+    # Hot-path selection + coordinate plumbing
+    # ------------------------------------------------------------------
+    def set_hot_path(self, mode: str) -> None:
+        """Switch between the ``"vectorized"`` and ``"legacy"`` hot paths.
+
+        Both compute identical stale sets and propensities; legacy re-runs
+        the pre-SoA per-slot loops (spatial-hash candidates + scalar Fenwick
+        updates) for benchmarking and equivalence testing.
+        """
+        if mode not in ("vectorized", "legacy"):
+            raise ValueError(f"unknown hot path {mode!r}")
+        self.hot_path = mode
+        if mode == "legacy":
+            periodic = None if self.periodic is None else self.periodic
+            self.index = SpatialHashIndex(self._reach, periodic)
+            for slot in self.cache.live_slots():
+                self.index.insert(slot, self.cache.centres[slot])
+        else:
+            self.index = None
+
+    def _canonical(self, half: np.ndarray) -> np.ndarray:
+        half = np.asarray(half, dtype=np.int64)
+        if self.periodic is None:
+            return half
+        return np.mod(half, self.periodic)
+
+    def _set_centre(self, slot: int, half: np.ndarray) -> None:
+        self.cache.centres[slot] = self._canonical(half)
+
+    def _pad_active_mask(self) -> None:
+        """Keep the active mask aligned with the cache's physical arrays."""
+        mask = self._active_mask
+        if mask is not None and mask.shape[0] < self.cache.live.shape[0]:
+            grown = np.zeros(self.cache.live.shape[0], dtype=bool)
+            grown[: mask.shape[0]] = mask
+            self._active_mask = grown
 
     # ------------------------------------------------------------------
     # Registry: dynamic vacancy populations
@@ -315,25 +366,28 @@ class EventKernel:
             self.store.grow(max(slot + 1, 2 * self.store.n_slots))
         else:
             self.store.update(slot, 0.0)
-        self.index.insert(slot, self.position_of(key))
-        self._stale.add(slot)
+        self._pad_active_mask()
+        self._set_centre(slot, self.position_of(key))
+        if self.index is not None:
+            self.index.insert(slot, self.cache.centres[slot])
         return slot
 
     def remove(self, slot: int) -> None:
         """Unregister a vacancy; its slot parks at zero propensity."""
         self.cache.remove_slot(slot)
         self.store.update(slot, 0.0)
-        self.index.remove(slot)
-        self._stale.discard(slot)
-        if self._active is not None:
-            self._active.discard(slot)
+        if self.index is not None:
+            self.index.remove(slot)
+        if self._active_mask is not None:
+            self._active_mask[slot] = False
 
     def move(self, slot: int, new_key: Hashable) -> None:
         """A vacancy hopped: rekey the slot, invalidate it, park at zero."""
         self.cache.move(slot, new_key)
         self.store.update(slot, 0.0)
-        self.index.move(slot, self.position_of(new_key))
-        self._stale.add(slot)
+        self._set_centre(slot, self.position_of(new_key))
+        if self.index is not None:
+            self.index.move(slot, self.cache.centres[slot])
 
     def set_keys(
         self,
@@ -347,47 +401,72 @@ class EventKernel:
         """
         self.cache.set_keys(keys, free_order=free_order)
         self.store.resize(self.cache.n_slots)
-        self.index.clear()
-        self._active = None
-        self._stale = set(self.cache.live_slots())
-        for slot in self._stale:
-            self.index.insert(slot, self.position_of(self.cache.key_of(slot)))
+        self._active_mask = None
+        for slot in self.cache.live_slots():
+            self._set_centre(slot, self.position_of(self.cache.key_of(slot)))
+        if self.index is not None:
+            self.index.clear()
+            for slot in self.cache.live_slots():
+                self.index.insert(slot, self.cache.centres[slot])
 
     # ------------------------------------------------------------------
     # Sector activation (parallel sublattice protocol)
     # ------------------------------------------------------------------
     def set_active(self, slots: Optional[Iterable[int]]) -> None:
         """Restrict selection to ``slots`` (``None`` -> all live slots)."""
+        if self.hot_path == "legacy":
+            self._set_active_legacy(slots)
+            return
+        cache = self.cache
         if slots is None:
-            self._active = None
+            self._active_mask = None
+            held = cache.live & cache.fresh
+        else:
+            mask = np.zeros(cache.live.shape[0], dtype=bool)
+            idx = np.asarray(list(slots), dtype=np.int64)
+            if idx.size:
+                mask[idx] = True
+            self._active_mask = mask
+            held = cache.live & cache.fresh & mask
+        # Parked/stale slots already sit at zero in the store, so writing
+        # zeros there is a no-op on the tree bits (it is a pure function of
+        # the values array) — one vectorised sweep covers every slot.
+        n = cache.n_slots
+        values = np.where(held, cache.total_rates, 0.0)
+        self.store.update_many(np.arange(n, dtype=np.int64), values[:n])
+
+    def _set_active_legacy(self, slots: Optional[Iterable[int]]) -> None:
+        if slots is None:
+            self._active_mask = None
             for slot in self.cache.live_slots():
                 entry = self.cache.get(slot)
                 self.store.update(
                     slot, entry.total_rate if entry is not None else 0.0
                 )
-                if entry is None:
-                    self._stale.add(slot)
             return
-        self._active = {int(s) for s in slots}
+        mask = np.zeros(self.cache.live.shape[0], dtype=bool)
+        for s in slots:
+            mask[int(s)] = True
+        self._active_mask = mask
         for slot in self.cache.live_slots():
             entry = self.cache.get(slot)
-            if slot in self._active and entry is not None:
+            if mask[slot] and entry is not None:
                 self.store.update(slot, entry.total_rate)
             else:
                 self.store.update(slot, 0.0)
 
     def deactivate(self, slot: int) -> None:
         """Drop a slot from the active set (it keeps its cache entry)."""
-        if self._active is None:
-            self._active = set(self.cache.live_slots())
-        self._active.discard(slot)
+        if self._active_mask is None:
+            self._active_mask = self.cache.live.copy()
+        self._active_mask[slot] = False
         self.store.update(slot, 0.0)
 
     def _active_live(self) -> List[int]:
-        live = self.cache.live_slots()
-        if self._active is None:
-            return live
-        return [s for s in live if s in self._active]
+        if self._active_mask is None:
+            return self.cache.live_slots()
+        held = self.cache.live & self._active_mask
+        return [int(s) for s in np.flatnonzero(held)]
 
     # ------------------------------------------------------------------
     # Refresh + selection
@@ -398,44 +477,84 @@ class EventKernel:
         Only stale slots are rebuilt (O(|stale| log n)); fresh active slots
         count as cache hits, exactly as the per-slot bookkeeping of the
         original serial engine.  Invalidation is deferred by design — slots
-        only queue in the stale set until the next selection — so when a
-        ``build_entries`` callback is configured, the whole queue is
+        only mark stale until the next selection — so when a
+        ``build_entries`` callback is configured, the whole stale set is
         re-evaluated through one fused batch call here (post-hop, post-ghost
         exchange, and cold starts alike).
         """
         if not self.use_cache:
             self.invalidate_all()
-        active = self._active_live()
-        if self._active is None:
-            stale = sorted(self._stale)
+        cache = self.cache
+        stale_mask = cache.stale_mask()
+        if self._active_mask is not None:
+            n_active = int(np.count_nonzero(cache.live & self._active_mask))
+            stale_mask = stale_mask & self._active_mask
         else:
-            stale = sorted(s for s in self._stale if s in self._active)
-        if stale:
-            if self.build_entries is not None:
-                keys = [self.cache.key_of(slot) for slot in stale]
-                entries = list(self.build_entries(keys))
-                if len(entries) != len(stale):
-                    raise RuntimeError(
-                        f"build_entries returned {len(entries)} entries "
-                        f"for {len(stale)} keys"
-                    )
-                self.stats.rate_batches += 1
-                self.stats.batched_rows += len(stale)
-                self.stats.max_batch_size = max(
-                    self.stats.max_batch_size, len(stale)
-                )
+            n_active = cache.n_live
+        stale = np.flatnonzero(stale_mask)  # ascending, like the sorted set
+        if stale.size:
+            if self.hot_path == "legacy":
+                self._refresh_slots_legacy(stale)
             else:
-                entries = [
-                    self.build_entry(self.cache.key_of(slot)) for slot in stale
-                ]
-            for slot, entry in zip(stale, entries):
+                self._refresh_slots(stale)
+        cache.stats.reuses += max(0, n_active - int(stale.size))
+
+    def _built_entries(self, stale: np.ndarray):
+        """Run the batched build callback over the stale keys, with counters."""
+        keys = [self.cache.key_of(int(slot)) for slot in stale]
+        entries = self.build_entries(keys)
+        n = len(entries)
+        if n != stale.size:
+            raise RuntimeError(
+                f"build_entries returned {n} entries for {stale.size} keys"
+            )
+        self.stats.rate_batches += 1
+        self.stats.batched_rows += int(stale.size)
+        self.stats.max_batch_size = max(self.stats.max_batch_size, int(stale.size))
+        return entries
+
+    def _refresh_slots(self, stale: np.ndarray) -> None:
+        """SoA rebuild: batch store + one vectorised propensity sweep."""
+        cache = self.cache
+        if self.build_entries is not None:
+            entries = self._built_entries(stale)
+            if isinstance(entries, BatchEntries):
+                cache.store_batch(stale, entries)
+                self.stats.rates_evaluated += int(entries.rates.size)
+            elif isinstance(entries, np.ndarray) and entries.ndim == 2:
+                cache.store_rates(stale, entries)
+                self.stats.rates_evaluated += int(entries.size)
+            else:
+                for slot, entry in zip(stale, entries):
+                    if isinstance(entry, np.ndarray):
+                        entry = SimpleRateEntry(entry)
+                    cache.store(int(slot), entry)
+                    self.stats.rates_evaluated += int(
+                        np.asarray(entry.rates).size
+                    )
+        else:
+            for slot in stale:
+                entry = self.build_entry(cache.key_of(int(slot)))
                 if isinstance(entry, np.ndarray):
                     entry = SimpleRateEntry(entry)
-                self.cache.store(slot, entry)
-                self.store.update(slot, entry.total_rate)
-                self._stale.discard(slot)
+                cache.store(int(slot), entry)
                 self.stats.rates_evaluated += int(np.asarray(entry.rates).size)
-        self.cache.stats.reuses += max(0, len(active) - len(stale))
+        self.store.update_many(stale, cache.total_rates[stale])
+
+    def _refresh_slots_legacy(self, stale: np.ndarray) -> None:
+        """Pre-SoA rebuild: per-slot stores and scalar propensity updates."""
+        if self.build_entries is not None:
+            entries = list(self._built_entries(stale))
+        else:
+            entries = [
+                self.build_entry(self.cache.key_of(int(slot))) for slot in stale
+            ]
+        for slot, entry in zip(stale, entries):
+            if isinstance(entry, np.ndarray):
+                entry = SimpleRateEntry(entry)
+            self.cache.store(int(slot), entry)
+            self.store.update(int(slot), entry.total_rate)
+            self.stats.rates_evaluated += int(np.asarray(entry.rates).size)
 
     @property
     def total(self) -> float:
@@ -466,14 +585,39 @@ class EventKernel:
     def invalidate_near(self, points_half: np.ndarray) -> int:
         """Invalidate cached entries near changed positions (Sec. 3.2).
 
-        ``points_half`` is an ``(n, 3)`` array of half-unit coordinates.  The
-        spatial hash narrows each point to its 27 neighbouring buckets, then
-        the exact (periodic, where configured) distance test decides.
-        Returns the number of entries invalidated.
+        ``points_half`` is an ``(n, 3)`` array of half-unit coordinates.
+        The default path broadcasts them against every fresh centre in one
+        (periodic minimum-image, where configured) distance evaluation; the
+        legacy path narrows through the spatial hash and loops.  Both apply
+        the identical exact test ``|scale * delta| <= threshold + 1e-9`` in
+        the same floating-point operation order, so the stale sets agree
+        bitwise.  Returns the number of entries invalidated.
         """
         points = np.asarray(points_half, dtype=np.int64).reshape(-1, 3)
         if points.shape[0] == 0:
             return 0
+        if self.hot_path == "legacy":
+            return self._invalidate_near_legacy(points)
+        cache = self.cache
+        held = np.flatnonzero(cache.live & cache.fresh)
+        if held.size == 0:
+            return 0
+        delta = (
+            self._canonical(points).astype(np.float64)[:, None, :]
+            - cache.centres[held].astype(np.float64)[None, :, :]
+        )
+        if self.periodic is not None:
+            span = self.periodic.astype(np.float64)
+            delta -= span * np.round(delta / span)
+        delta *= self.scale
+        dist = np.sqrt(np.sum(delta * delta, axis=-1))
+        hit = np.any(dist <= self.threshold + 1e-9, axis=0)
+        hits = held[hit]
+        cache.fresh[hits] = False
+        cache.stats.invalidations += int(hits.size)
+        return int(hits.size)
+
+    def _invalidate_near_legacy(self, points: np.ndarray) -> int:
         count = 0
         for point in points:
             for slot in self.index.candidates_near(point, self._reach):
@@ -482,15 +626,12 @@ class EventKernel:
                 delta = self.index.displacement(slot, point) * self.scale
                 if np.sqrt(np.sum(delta * delta)) <= self.threshold + 1e-9:
                     self.cache.invalidate_slot(slot)
-                    self._stale.add(slot)
                     count += 1
         return count
 
     def invalidate_all(self) -> None:
         """Drop every live entry (cache-off mode / global resync)."""
-        for slot in self.cache.live_slots():
-            self.cache.invalidate_slot(slot)
-            self._stale.add(slot)
+        self.cache.invalidate_all()
 
     # ------------------------------------------------------------------
     # Instrumentation

@@ -1,0 +1,126 @@
+"""Lightweight phase profiler for the event hot path.
+
+Every engine wants the same question answered: of the microseconds one KMC
+event costs, how many go to propensity rebuilds, to selection, to executing
+the hop, to distance invalidation, and (for the parallel driver) to the
+ghost exchange?  :class:`PhaseProfiler` attributes wall time to named phases
+through reusable context-manager timers:
+
+.. code-block:: python
+
+    prof = PhaseProfiler()
+    with prof.phase("select"):
+        slot, direction, entry = kernel.select(u)
+
+The timers are cached per phase name, so entering a phase on the hot path
+costs two ``perf_counter`` calls and two dict updates (~0.3 us) — cheap
+enough to leave enabled in production runs, which is how the engines use it
+(:meth:`repro.core.engine.SerialAKMCBase.summary`,
+:class:`repro.parallel.engine.CycleStats`, and the ``phase_us_per_event``
+breakdown in ``BENCH_kernel.json`` all read from one of these).
+
+The canonical phase names used across the engines are in :data:`PHASES`;
+the profiler itself accepts any name.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Mapping
+
+__all__ = ["PHASES", "PhaseProfiler"]
+
+#: Phase names the engines use, in reporting order: propensity/cache
+#: rebuild, two-level selection, hop execution, distance invalidation, and
+#: (parallel only) the ghost-exchange/rescan block.
+PHASES = ("rebuild", "select", "hop", "invalidate", "exchange")
+
+
+class _PhaseTimer:
+    """Reusable (non-reentrant) context manager accumulating into one phase."""
+
+    __slots__ = ("_seconds", "_calls", "_name", "_t0")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self._seconds = profiler.seconds
+        self._calls = profiler.calls
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._seconds[self._name] += perf_counter() - self._t0
+        self._calls[self._name] += 1
+        return False
+
+
+class _NullTimer:
+    """No-op stand-in handed out by disabled profilers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds and call counts per named phase."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self._timers: Dict[str, _PhaseTimer] = {}
+
+    def phase(self, name: str):
+        """Context manager timing one occurrence of ``name``."""
+        if not self.enabled:
+            return _NULL_TIMER
+        timer = self._timers.get(name)
+        if timer is None:
+            self.seconds.setdefault(name, 0.0)
+            self.calls.setdefault(name, 0)
+            timer = _PhaseTimer(self, name)
+            self._timers[name] = timer
+        return timer
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Credit time measured externally (e.g. another profiler's delta)."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + float(seconds)
+        self.calls[name] = self.calls.get(name, 0) + int(calls)
+
+    def merge(self, other: "PhaseProfiler") -> None:
+        """Fold another profiler's accumulators into this one."""
+        for name, secs in other.seconds.items():
+            self.add(name, secs, other.calls.get(name, 0))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of the per-phase seconds (for before/after deltas)."""
+        return dict(self.seconds)
+
+    def delta(self, before: Mapping[str, float]) -> Dict[str, float]:
+        """Per-phase seconds accumulated since a :meth:`snapshot`."""
+        return {
+            name: secs - before.get(name, 0.0)
+            for name, secs in self.seconds.items()
+        }
+
+    def reset(self) -> None:
+        for name in self.seconds:
+            self.seconds[name] = 0.0
+        for name in self.calls:
+            self.calls[name] = 0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat ``{phase}_seconds`` mapping for engine summaries."""
+        return {f"{name}_seconds": secs for name, secs in self.seconds.items()}

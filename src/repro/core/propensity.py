@@ -18,6 +18,33 @@ import numpy as np
 __all__ = ["PropensityStore", "LinearPropensity", "FenwickPropensity"]
 
 
+def _checked_batch(
+    slots, values, n_slots: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate an ``update_many`` batch shared by every store.
+
+    Returns ``(slots, values)`` as flat int64/float64 arrays.  Raises
+    ``ValueError`` on length mismatch or negative propensities and
+    ``IndexError`` on out-of-range slots (negative slots included — fancy
+    indexing would silently wrap them).
+    """
+    s = np.asarray(slots, dtype=np.int64).ravel()
+    v = np.asarray(values, dtype=np.float64).ravel()
+    if s.shape != v.shape:
+        raise ValueError(
+            f"update_many length mismatch: {s.size} slots vs {v.size} values"
+        )
+    if s.size == 0:
+        return s, v
+    if np.any(v < 0):
+        bad = float(v[v < 0][0])
+        raise ValueError(f"propensity must be >= 0, got {bad!r}")
+    if np.any((s < 0) | (s >= n_slots)):
+        bad = int(s[(s < 0) | (s >= n_slots)][0])
+        raise IndexError(f"slot {bad} out of range [0, {n_slots})")
+    return s, v
+
+
 class PropensityStore(ABC):
     """Slot-indexed non-negative propensities with weighted selection.
 
@@ -49,6 +76,18 @@ class PropensityStore(ABC):
     @abstractmethod
     def update(self, slot: int, value: float) -> None:
         """Set the propensity of one slot."""
+
+    def update_many(self, slots, values) -> None:
+        """Set a batch of slot propensities in one call.
+
+        Semantically equivalent to ``for s, v in zip(slots, values):
+        update(s, v)`` — duplicate slots resolve last-write-wins — but
+        concrete stores override this with a vectorized implementation so
+        the event kernel can push a whole stale batch per refresh.
+        """
+        s, v = _checked_batch(slots, values, self.n_slots)
+        for slot, value in zip(s, v):
+            self.update(int(slot), float(value))
 
     @abstractmethod
     def get(self, slot: int) -> float:
@@ -97,6 +136,10 @@ class LinearPropensity(PropensityStore):
         if value < 0:
             raise ValueError(f"propensity must be >= 0, got {value!r}")
         self.values[slot] = value
+
+    def update_many(self, slots, values) -> None:
+        s, v = _checked_batch(slots, values, self.n_slots)
+        self.values[s] = v
 
     def get(self, slot: int) -> float:
         return float(self.values[slot])
@@ -150,8 +193,8 @@ class FenwickPropensity(PropensityStore):
             return
         old = self.values
         self.resize(n_slots)
-        for slot in np.flatnonzero(old):
-            self.update(int(slot), float(old[slot]))
+        self.values[: old.shape[0]] = old
+        self._rebuild()
 
     @property
     def n_slots(self) -> int:
@@ -163,6 +206,9 @@ class FenwickPropensity(PropensityStore):
         if not 0 <= slot < self.n:
             raise IndexError(f"slot {slot} out of range [0, {self.n})")
         self.values[slot] = value
+        self._refresh_ancestors(slot)
+
+    def _refresh_ancestors(self, slot: int) -> None:
         # Recompute every ancestor node exactly from its children instead of
         # propagating a float delta: the tree is then a pure function of the
         # ``values`` array, independent of update history — which is what
@@ -178,6 +224,40 @@ class FenwickPropensity(PropensityStore):
                 k <<= 1
             self.tree[i] = total
             i += i & (-i)
+
+    def update_many(self, slots, values) -> None:
+        s, v = _checked_batch(slots, values, self.n)
+        if s.size == 0:
+            return
+        self.values[s] = v  # duplicates: last write wins, as sequentially
+        # Each node's sum is formed child-by-child in the same order the
+        # scalar path uses, so either refresh strategy leaves the tree
+        # bitwise identical to a sequence of scalar updates.
+        if s.size * 8 >= self._cap:
+            self._rebuild()
+        else:
+            for slot in np.unique(s):  # ascending: children refresh first
+                self._refresh_ancestors(int(slot))
+
+    def _rebuild(self) -> None:
+        """Recompute the whole tree from ``values`` in one vectorized sweep.
+
+        Level by level: seed every node with its own value, then for
+        ``k = 1, 2, 4, ...`` add ``tree[i - k]`` into each node ``i`` whose
+        lowbit exceeds ``k``.  At step ``k`` the nodes being read have
+        lowbit exactly ``k`` and were finalized in earlier steps, and each
+        node accumulates its children in the same ascending-``k`` order as
+        ``_refresh_ancestors`` — same additions, same order, same bits.
+        """
+        self.tree[:] = 0.0
+        self.tree[1 : self.n + 1] = self.values
+        idx = np.arange(1, self._cap + 1, dtype=np.int64)
+        low = idx & (-idx)
+        k = 1
+        while k < self._cap:
+            nodes = idx[low > k]
+            self.tree[nodes] += self.tree[nodes - k]
+            k <<= 1
 
     def get(self, slot: int) -> float:
         return float(self.values[slot])

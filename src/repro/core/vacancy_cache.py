@@ -14,6 +14,13 @@ the parallel ranks — so one registry serves every driver.  Slots are stable
 a free list, which is what lets the parallel driver add and remove vacancies
 as they enter and leave its subdomain without reindexing the propensity
 structure.
+
+Storage is structure-of-arrays: one ``(capacity, n_all)`` VET matrix, one
+``(capacity, 8)`` rate matrix, one ``(capacity, 3)`` centre matrix and
+``live``/``fresh`` masks, so invalidation, refresh and propensity updates
+run as NumPy array operations over slot batches instead of per-entry Python
+objects.  :class:`CachedVacancySystem` is a *view* assembled on demand by
+:meth:`VacancyCache.get`; it no longer owns the storage.
 """
 
 from __future__ import annotations
@@ -24,14 +31,24 @@ from typing import Dict, Hashable, Iterable, List, Optional
 import numpy as np
 
 from ..lattice.occupancy import LatticeState
-from .vacancy_system import StateEnergies
+from .vacancy_system import StateEnergies, StateEnergiesBatch
 
-__all__ = ["CachedVacancySystem", "VacancyCache"]
+__all__ = [
+    "BatchEntries",
+    "CachedVacancySystem",
+    "SimpleRateEntry",
+    "VacancyCache",
+]
 
 
 @dataclass
 class CachedVacancySystem:
-    """Everything cached for one vacancy between invalidations."""
+    """Everything cached for one vacancy between invalidations.
+
+    Instances returned by :meth:`VacancyCache.get` are views into the
+    cache's slot arrays (no copies); instances handed *to*
+    :meth:`VacancyCache.store` are scattered into those arrays.
+    """
 
     #: Flat lattice index of the vacancy (the system centre).
     site: int
@@ -47,6 +64,62 @@ class CachedVacancySystem:
     @property
     def total_rate(self) -> float:
         return float(self.rates.sum())
+
+
+@dataclass
+class SimpleRateEntry:
+    """Minimal cache entry: just a per-direction rate row.
+
+    Used by drivers (the parallel ranks) that do not need the full
+    :class:`CachedVacancySystem` payload.
+    """
+
+    rates: np.ndarray
+
+    @property
+    def total_rate(self) -> float:
+        return float(self.rates.sum())
+
+
+@dataclass
+class BatchEntries:
+    """A batch of freshly built vacancy systems, still in array form.
+
+    Produced by the engines' batched miss path (one fused
+    ``evaluate_batch`` + ``rates_batch`` pipeline) and consumed whole by
+    :meth:`VacancyCache.store_batch` — the rows go straight from the
+    evaluator's output arrays into the cache's slot arrays without ever
+    materialising per-slot Python objects.  Iterating yields per-row
+    :class:`CachedVacancySystem` views for consumers that want the scalar
+    shape (the legacy refresh path does).
+    """
+
+    #: ``(B,)`` centre site ids (keys of the slots being rebuilt).
+    sites: np.ndarray
+    #: ``(B, n_all)`` flat site ids of every system.
+    vet_ids: np.ndarray
+    #: ``(B, n_all)`` VET species codes.
+    vets: np.ndarray
+    #: Batched hop energetics.
+    energies: StateEnergiesBatch
+    #: ``(B, 8)`` per-direction rates in 1/s.
+    rates: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.rates.shape[0])
+
+    def entry(self, b: int) -> CachedVacancySystem:
+        """Scalar view of row ``b`` (arrays are views into the batch)."""
+        return CachedVacancySystem(
+            site=int(self.sites[b]),
+            vet_ids=self.vet_ids[b],
+            vet=self.vets[b],
+            energies=self.energies.row(b),
+            rates=self.rates[b],
+        )
+
+    def __iter__(self):
+        return (self.entry(b) for b in range(len(self)))
 
 
 @dataclass
@@ -79,18 +152,92 @@ class VacancyCache:
     its slot when it hops), so the propensity structure can address them
     directly.  Keys are flat site indices (serial) or half-coordinate tuples
     (parallel); removed slots are recycled through a free list.
+
+    Slot state lives in structure-of-arrays form, sized to a physical
+    ``capacity >= n_slots`` (amortised doubling):
+
+    * ``live[slot]`` — slot holds a vacancy (key is not ``None``);
+    * ``fresh[slot]`` — slot holds a valid cached entry (live and not stale);
+    * ``centres[slot]`` — canonical half-unit position, maintained by the
+      event kernel for its vectorised distance invalidation;
+    * ``rates[slot]`` / ``total_rates[slot]`` — the per-direction rate row
+      and its sum;
+    * VET ids / VET codes / state energies — allocated lazily on the first
+      full :class:`CachedVacancySystem` store (rate-only drivers never pay
+      for them).
+
+    Entries beyond ``n_slots`` and parked slots always read ``live=False``,
+    so vectorised sweeps can safely run over the whole physical arrays.
     """
 
     def __init__(self, keys: Iterable[Hashable]) -> None:
-        self._keys: List[Optional[Hashable]] = [_canonical_key(k) for k in keys]
-        self.entries: List[Optional[CachedVacancySystem]] = [None] * len(self._keys)
-        self._slot_of: Dict[Hashable, int] = {
-            k: i for i, k in enumerate(self._keys)
-        }
+        self.stats = CacheStats()
+        self.set_keys(keys)
         if len(self._slot_of) != len(self._keys):
             raise ValueError("duplicate vacancy keys")
-        self._free: List[int] = []
-        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Storage allocation
+    # ------------------------------------------------------------------
+    def _alloc(self, capacity: int) -> None:
+        """(Re)allocate the slot arrays for ``capacity`` physical slots."""
+        self._cap = int(capacity)
+        self.live = np.zeros(self._cap, dtype=bool)
+        self.fresh = np.zeros(self._cap, dtype=bool)
+        self.centres = np.zeros((self._cap, 3), dtype=np.int32)
+        self.rates = np.zeros((self._cap, 8), dtype=np.float64)
+        self.total_rates = np.zeros(self._cap, dtype=np.float64)
+        self._is_full = np.zeros(self._cap, dtype=bool)
+        # Full-payload arrays (lazily allocated on the first full store).
+        self._vet_ids: Optional[np.ndarray] = None
+        self._vets: Optional[np.ndarray] = None
+        self._e_initial: Optional[np.ndarray] = None
+        self._e_delta: Optional[np.ndarray] = None
+        self._e_valid: Optional[np.ndarray] = None
+        self._e_mig: Optional[np.ndarray] = None
+
+    def _grow(self, min_capacity: int) -> None:
+        """Double the physical capacity, preserving every slot's state."""
+        new_cap = max(1, self._cap)
+        while new_cap < min_capacity:
+            new_cap *= 2
+        old = self.__dict__
+        arrays = [
+            "live", "fresh", "centres", "rates", "total_rates", "_is_full",
+            "_vet_ids", "_vets", "_e_initial", "_e_delta", "_e_valid",
+            "_e_mig",
+        ]
+        saved = {name: old[name] for name in arrays}
+        self._alloc(new_cap)
+        for name, arr in saved.items():
+            if arr is None:
+                continue
+            if self.__dict__[name] is None:  # lazy array existed: re-create
+                shape = (new_cap,) + arr.shape[1:]
+                self.__dict__[name] = np.zeros(shape, dtype=arr.dtype)
+            self.__dict__[name][: arr.shape[0]] = arr
+
+    def _ensure_rates(self, width: int) -> None:
+        if width != self.rates.shape[1]:
+            rows = self.rates
+            self.rates = np.zeros((self._cap, int(width)), dtype=np.float64)
+            keep = min(width, rows.shape[1])
+            self.rates[: rows.shape[0], :keep] = rows[:, :keep]
+
+    def _ensure_full(
+        self, vet_ids: np.ndarray, vets: np.ndarray, mig: np.ndarray
+    ) -> None:
+        """Allocate the full-payload arrays from the first entry's shapes."""
+        if self._vets is not None:
+            return
+        n_all = int(vets.shape[-1])
+        n_dir = int(mig.shape[-1])
+        self._vet_ids = np.zeros((self._cap, n_all), dtype=vet_ids.dtype)
+        self._vets = np.zeros((self._cap, n_all), dtype=vets.dtype)
+        self._e_initial = np.zeros(self._cap, dtype=np.float64)
+        self._e_delta = np.zeros((self._cap, n_dir), dtype=np.float64)
+        self._e_valid = np.zeros((self._cap, n_dir), dtype=bool)
+        self._e_mig = np.zeros((self._cap, n_dir), dtype=mig.dtype)
 
     # ------------------------------------------------------------------
     # Registry
@@ -115,13 +262,12 @@ class VacancyCache:
         identity.  ``None`` keys mark parked (free) slots; ``free_order``
         restores the free-list *stack order* (``add_slot`` pops from the
         end), which a bit-exact resume needs whenever slots were freed and
-        re-used before the checkpoint.  Engines must re-sync their spatial
-        index afterwards (``EventKernel.set_keys`` does both).
+        re-used before the checkpoint.  Engines must re-sync their centre
+        coordinates afterwards (``EventKernel.set_keys`` does both).
         """
         self._keys = [
             None if k is None else _canonical_key(k) for k in keys
         ]
-        self.entries = [None] * len(self._keys)
         self._slot_of = {
             k: i for i, k in enumerate(self._keys) if k is not None
         }
@@ -135,10 +281,14 @@ class VacancyCache:
                 )
             free = order
         self._free = free
+        self._alloc(max(1, len(self._keys)))
+        for i, k in enumerate(self._keys):
+            if k is not None:
+                self.live[i] = True
 
     @property
     def n_slots(self) -> int:
-        """Slot capacity, including parked (free) slots."""
+        """Slot count, including parked (free) slots."""
         return len(self._keys)
 
     @property
@@ -157,7 +307,7 @@ class VacancyCache:
 
     def live_slots(self) -> List[int]:
         """Slots currently holding a vacancy, ascending."""
-        return [i for i, k in enumerate(self._keys) if k is not None]
+        return [int(s) for s in np.flatnonzero(self.live[: self.n_slots])]
 
     def slot_site(self, slot: int) -> Hashable:
         """Current key (lattice site / half-coordinate) of a slot."""
@@ -181,8 +331,11 @@ class VacancyCache:
         else:
             slot = len(self._keys)
             self._keys.append(key)
-            self.entries.append(None)
+            if slot >= self._cap:
+                self._grow(slot + 1)
         self._slot_of[key] = slot
+        self.live[slot] = True
+        self.fresh[slot] = False
         return slot
 
     def remove_slot(self, slot: int) -> None:
@@ -192,7 +345,8 @@ class VacancyCache:
             raise ValueError(f"slot {slot} is already free")
         del self._slot_of[key]
         self._keys[slot] = None
-        self.entries[slot] = None
+        self.live[slot] = False
+        self.fresh[slot] = False
         self._free.append(slot)
 
     def move(self, slot: int, new_key: Hashable) -> None:
@@ -203,41 +357,156 @@ class VacancyCache:
             del self._slot_of[old_key]
         self._keys[slot] = new_key
         self._slot_of[new_key] = slot
-        self.entries[slot] = None
+        self.live[slot] = True
+        self.fresh[slot] = False
 
     # ------------------------------------------------------------------
     # Entries
     # ------------------------------------------------------------------
-    def get(self, slot: int) -> Optional[CachedVacancySystem]:
-        return self.entries[slot]
+    @property
+    def entries(self) -> List[Optional[object]]:
+        """Per-slot entry views, ``None`` where parked or stale.
 
-    def store(self, slot: int, entry: CachedVacancySystem) -> None:
-        self.entries[slot] = entry
+        Compatibility shim over the slot arrays: materialises a fresh view
+        object per fresh slot, so it is for inspection, not the hot path.
+        """
+        return [self.get(slot) for slot in range(self.n_slots)]
+
+    def get(self, slot: int) -> Optional[object]:
+        """View of a slot's cached entry, or ``None`` if parked/stale.
+
+        Full entries come back as :class:`CachedVacancySystem`, rate-only
+        ones as :class:`SimpleRateEntry`; either way the arrays are views
+        into the cache's slot arrays, valid until the slot is restored.
+        """
+        if not (self.live[slot] and self.fresh[slot]):
+            return None
+        if not self._is_full[slot]:
+            return SimpleRateEntry(rates=self.rates[slot])
+        return CachedVacancySystem(
+            site=self._keys[slot],
+            vet_ids=self._vet_ids[slot],
+            vet=self._vets[slot],
+            energies=StateEnergies(
+                initial=float(self._e_initial[slot]),
+                delta=self._e_delta[slot],
+                valid=self._e_valid[slot],
+                migrating_species=self._e_mig[slot],
+            ),
+            rates=self.rates[slot],
+        )
+
+    def store(self, slot: int, entry: object) -> None:
+        """Scatter one freshly built entry into the slot arrays."""
+        rates = np.asarray(entry.rates, dtype=np.float64)
+        self._ensure_rates(rates.shape[0])
+        self.rates[slot] = rates
+        self.total_rates[slot] = rates.sum()
+        if isinstance(entry, CachedVacancySystem):
+            energies = entry.energies
+            self._ensure_full(
+                np.asarray(entry.vet_ids),
+                np.asarray(entry.vet),
+                np.asarray(energies.migrating_species),
+            )
+            self._vet_ids[slot] = entry.vet_ids
+            self._vets[slot] = entry.vet
+            self._e_initial[slot] = energies.initial
+            self._e_delta[slot] = energies.delta
+            self._e_valid[slot] = energies.valid
+            self._e_mig[slot] = energies.migrating_species
+            self._is_full[slot] = True
+        else:
+            self._is_full[slot] = False
+        self.fresh[slot] = True
         self.stats.rebuilds += 1
+
+    def store_batch(self, slots: np.ndarray, batch: BatchEntries) -> None:
+        """Scatter a whole :class:`BatchEntries` into the slot arrays.
+
+        One fancy-indexed write per array — the SoA fast path of the batched
+        miss pipeline.  Row sums for ``total_rates`` use the same per-row
+        reduction order as the scalar path, so the propensities are
+        bit-identical to storing the rows one by one.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size != len(batch):
+            raise ValueError(
+                f"store_batch got {slots.size} slots for {len(batch)} entries"
+            )
+        if slots.size == 0:
+            return
+        rates = np.asarray(batch.rates, dtype=np.float64)
+        self._ensure_rates(rates.shape[1])
+        self.rates[slots] = rates
+        self.total_rates[slots] = rates.sum(axis=1)
+        self._ensure_full(
+            np.asarray(batch.vet_ids),
+            np.asarray(batch.vets),
+            np.asarray(batch.energies.migrating_species),
+        )
+        self._vet_ids[slots] = batch.vet_ids
+        self._vets[slots] = batch.vets
+        self._e_initial[slots] = batch.energies.initial
+        self._e_delta[slots] = batch.energies.delta
+        self._e_valid[slots] = batch.energies.valid
+        self._e_mig[slots] = batch.energies.migrating_species
+        self._is_full[slots] = True
+        self.fresh[slots] = True
+        self.stats.rebuilds += int(slots.size)
+
+    def store_rates(self, slots: np.ndarray, rows: np.ndarray) -> None:
+        """Scatter a batch of bare rate rows (rate-only drivers)."""
+        slots = np.asarray(slots, dtype=np.int64)
+        rows = np.asarray(rows, dtype=np.float64)
+        if slots.size != rows.shape[0]:
+            raise ValueError(
+                f"store_rates got {slots.size} slots for {rows.shape[0]} rows"
+            )
+        if slots.size == 0:
+            return
+        self._ensure_rates(rows.shape[1])
+        self.rates[slots] = rows
+        self.total_rates[slots] = rows.sum(axis=1)
+        self._is_full[slots] = False
+        self.fresh[slots] = True
+        self.stats.rebuilds += int(slots.size)
 
     def mark_reused(self, slot: int) -> None:
         self.stats.reuses += 1
 
     def stale_slots(self) -> List[int]:
         """Live slots whose cached system must be rebuilt."""
+        n = self.n_slots
         return [
-            i
-            for i, e in enumerate(self.entries)
-            if e is None and self._keys[i] is not None
+            int(s) for s in np.flatnonzero(self.live[:n] & ~self.fresh[:n])
         ]
+
+    def stale_mask(self) -> np.ndarray:
+        """Boolean ``live & ~fresh`` over the physical slots (no copy)."""
+        return self.live & ~self.fresh
 
     def invalidate_slot(self, slot: int) -> None:
         """Drop one live entry (counted in the invalidation stats)."""
-        if self.entries[slot] is not None:
-            self.entries[slot] = None
+        if self.live[slot] and self.fresh[slot]:
+            self.fresh[slot] = False
             self.stats.invalidations += 1
+
+    def invalidate_slots(self, slots: np.ndarray) -> int:
+        """Drop a batch of entries; returns how many were actually live."""
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size == 0:
+            return 0
+        hit = slots[self.live[slots] & self.fresh[slots]]
+        self.fresh[hit] = False
+        self.stats.invalidations += int(hit.size)
+        return int(hit.size)
 
     def invalidate_all(self) -> None:
         """Drop every entry (cache-off mode / global resync)."""
-        for i in range(len(self.entries)):
-            if self.entries[i] is not None:
-                self.stats.invalidations += 1
-            self.entries[i] = None
+        n_fresh = int(np.count_nonzero(self.live & self.fresh))
+        self.fresh[:] = False
+        self.stats.invalidations += n_fresh
 
     def invalidate_near(
         self,
@@ -249,15 +518,15 @@ class VacancyCache:
 
         This is the paper's post-hop / post-synchronisation distance test
         (Sec. 3.2), as a linear scan over every cached entry.  The engines go
-        through :class:`repro.core.kernel.EventKernel`, whose spatial hash
-        index finds the same stale set in O(|changed|); this method remains
-        for int-keyed caches used standalone.
+        through :class:`repro.core.kernel.EventKernel`, whose vectorised
+        distance query finds the same stale set in one broadcast; this
+        method remains for int-keyed caches used standalone.
         """
         changed = [int(s) for s in changed_sites]
         if not changed:
             return
-        for slot, entry in enumerate(self.entries):
-            if entry is None or self._keys[slot] is None:
+        for slot in range(self.n_slots):
+            if not (self.live[slot] and self.fresh[slot]):
                 continue
             center = self._keys[slot]
             for site in changed:
@@ -265,29 +534,42 @@ class VacancyCache:
                     lattice.minimum_image_displacement(center, site)
                 )
                 if d <= radius + 1e-9:
-                    self.entries[slot] = None
+                    self.fresh[slot] = False
                     self.stats.invalidations += 1
                     break
 
     def memory_bytes(self) -> int:
-        """Bytes held by live cache entries (the Table 1 'VAC Cache' row)."""
-        total = 0
-        for entry in self.entries:
-            if entry is None:
-                continue
-            if isinstance(entry, CachedVacancySystem):
-                total += entry.vet_ids.nbytes + entry.vet.nbytes + entry.rates.nbytes
-                total += entry.energies.delta.nbytes + entry.energies.valid.nbytes
-                total += entry.energies.migrating_species.nbytes + 8  # initial float
-            else:  # generic kernel entry: only the rate row is held
-                total += int(getattr(entry.rates, "nbytes", 0))
+        """Bytes held by live cache entries (the Table 1 'VAC Cache' row).
+
+        Counts the payload of fresh entries only (stale/parked slots hold no
+        usable data), with the same per-entry accounting as the historical
+        object store: VET ids + VET codes + rate row + energy rows + the
+        initial-energy float for full entries, the rate row alone for
+        rate-only entries.
+        """
+        held = self.live & self.fresh
+        n_full = int(np.count_nonzero(held & self._is_full))
+        n_rate = int(np.count_nonzero(held & ~self._is_full))
+        rate_row = self.rates.shape[1] * self.rates.itemsize
+        total = n_rate * rate_row
+        if n_full:
+            per_full = (
+                self._vet_ids.shape[1] * self._vet_ids.itemsize
+                + self._vets.shape[1] * self._vets.itemsize
+                + rate_row
+                + self._e_delta.shape[1] * self._e_delta.itemsize
+                + self._e_valid.shape[1] * self._e_valid.itemsize
+                + self._e_mig.shape[1] * self._e_mig.itemsize
+                + 8  # initial float
+            )
+            total += n_full * per_full
         return total
 
     def summary(self) -> Dict[str, float]:
         """Cache statistics snapshot."""
         return {
             "n_slots": self.n_slots,
-            "live_entries": sum(e is not None for e in self.entries),
+            "live_entries": int(np.count_nonzero(self.live & self.fresh)),
             "rebuilds": self.stats.rebuilds,
             "reuses": self.stats.reuses,
             "invalidations": self.stats.invalidations,

@@ -92,6 +92,14 @@ class VacancySystemEvaluator:
         self.potential = potential
         self.n_elements = getattr(potential, "n_elements", 2)
         self.vacancy_code = self.n_elements
+        #: Batched-row dedup policy: ``"auto"`` (default) dedups only for
+        #: network potentials, where skipping duplicate rows saves whole GEMM
+        #: stacks; cheap tabulated/EAM reductions evaluate duplicates faster
+        #: than the unique-key sort that would remove them.  ``"always"`` /
+        #: ``"never"`` force either path.  For row-invariant potentials the
+        #: choice is bitwise-neutral: duplicate rows produce identical bits
+        #: either way, so trajectories do not depend on this knob.
+        self.dedup = "auto"
         # Optional Fig. 9 cost accounting (see attach_cost_ledger).
         self._ledger: "CostLedger | None" = None
         self._n_states = 1 + tet.N_DIRECTIONS
@@ -253,8 +261,19 @@ class VacancySystemEvaluator:
         Rows whose values fit 8 bits pack into one int64 key per row (a
         typed sort is far cheaper than byte-wise comparisons); wider rows
         fall back to a raw-bytes key.
+
+        The ``dedup`` policy gates the whole machinery: under ``"auto"``
+        only network potentials (``network_channels``) pay for the unique
+        sort — for cheap per-row reductions the sort costs more than the
+        duplicate evaluations it removes.
         """
         if not getattr(self.potential, "batch_row_invariant", False):
+            return None
+        if self.dedup == "never":
+            return None
+        if self.dedup == "auto" and (
+            getattr(self.potential, "network_channels", None) is None
+        ):
             return None
         vals = counts.reshape(counts.shape[0], -1)
         n_vals = vals.shape[1]

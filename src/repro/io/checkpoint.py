@@ -168,6 +168,11 @@ _CYCLE_FIELDS = (
     "selection_depth",
     "rate_batches",
     "batched_rows",
+    "rebuild_seconds",
+    "select_seconds",
+    "hop_seconds",
+    "invalidate_seconds",
+    "exchange_seconds",
 )
 
 _COMM_FIELDS = ("messages_sent", "bytes_sent", "barriers", "collectives")
@@ -282,7 +287,11 @@ def load_parallel_checkpoint(
     sim.cycles = [
         CycleStats(
             **{
-                name: (float(v) if name == "compute_seconds" else int(v))
+                name: (
+                    float(v)
+                    if name == "compute_seconds" or name.endswith("_seconds")
+                    else int(v)
+                )
                 for name, v in zip(_CYCLE_FIELDS, row)
             }
         )

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..constants import T_STOP, TEMPERATURE_RPV
 from ..core.kernel import EventKernel, NoMovesError
+from ..core.profiling import PHASES, PhaseProfiler
 from ..core.rates import RateModel, residence_time
 from ..core.tet import TripleEncoding
 from ..core.vacancy_system import VacancySystemEvaluator
@@ -66,6 +67,13 @@ class CycleStats:
     #: Batched miss-path deltas: fused build calls and rows they produced.
     rate_batches: int = 0
     batched_rows: int = 0
+    #: Per-phase wall time this cycle (summed over ranks + the exchange
+    #: block), from the rank/world :class:`~repro.core.profiling.PhaseProfiler`s.
+    rebuild_seconds: float = 0.0
+    select_seconds: float = 0.0
+    hop_seconds: float = 0.0
+    invalidate_seconds: float = 0.0
+    exchange_seconds: float = 0.0
 
 
 class RankState:
@@ -117,6 +125,8 @@ class RankState:
         self.rejected = 0
         #: Hops blocked by inconsistent (stale) data — naive mode only.
         self.anomalies = 0
+        #: Per-phase wall-time attribution of this rank's event loop.
+        self.profiler = PhaseProfiler()
 
     # ------------------------------------------------------------------
     def rescan_vacancies(self) -> None:
@@ -179,95 +189,111 @@ class RankState:
         window = self.window
         ghost = window.ghost
         kernel = self.kernel
-        if len(self.vacancies) == 0:
-            active_mask = np.zeros(0, dtype=bool)
-        elif sector is None:
-            active_mask = np.ones(len(self.vacancies), dtype=bool)
-        else:
-            active_mask = (
-                self.sectors.sector_of_half(self.vacancies, ghost) == sector
-            )
-        active_slots = [
-            slot
-            for h in self.vacancies[active_mask]
-            if (slot := kernel.slot_of(tuple(int(v) for v in h))) is not None
-        ]
-        kernel.set_active(active_slots)
-        changed_subs: List[int] = []
-        changed_cells: List[np.ndarray] = []
+        profiler = self.profiler
+        with profiler.phase("rebuild"):
+            if len(self.vacancies) == 0:
+                active_mask = np.zeros(0, dtype=bool)
+            elif sector is None:
+                active_mask = np.ones(len(self.vacancies), dtype=bool)
+            else:
+                active_mask = (
+                    self.sectors.sector_of_half(self.vacancies, ghost) == sector
+                )
+            active_slots = [
+                slot
+                for h in self.vacancies[active_mask]
+                if (slot := kernel.slot_of(tuple(int(v) for v in h))) is not None
+            ]
+            kernel.set_active(active_slots)
+        # Changed sites accumulate as raw half-coordinates; the conversion to
+        # (sublattice, global cell) runs once over the whole sector's batch
+        # after the loop — order-preserving, so the resulting SiteUpdates are
+        # identical to the historical per-event conversion.
+        changed_half: List[np.ndarray] = []
         changed_species: List[int] = []
 
         clock = 0.0
         try:
             while True:
-                kernel.refresh()
-                total = kernel.total
-                if total <= 0.0:
-                    break
-                u = self.rng.random() * total
-                slot, direction, entry = kernel.select(u)
-                dt = residence_time(total, 1.0 - self.rng.random())
-                if clock + dt > t_stop:
-                    self.rejected += 1
-                    break
+                with profiler.phase("rebuild"):
+                    kernel.refresh()
+                with profiler.phase("select"):
+                    total = kernel.total
+                    if total <= 0.0:
+                        break
+                    u = self.rng.random() * total
+                    slot, direction, entry = kernel.select(u)
+                    dt = residence_time(total, 1.0 - self.rng.random())
+                    if clock + dt > t_stop:
+                        self.rejected += 1
+                        break
                 clock += dt
 
-                vac_half = np.asarray(kernel.key_of(slot), dtype=np.int64)
-                target_half = vac_half + self.tet.nn_offsets[direction]
-                # Swap occupants in the window.
-                vac_species = window.species_at_half(vac_half[None, :])[0]
-                tgt_species = window.species_at_half(target_half[None, :])[0]
-                if (
-                    vac_species != self.vacancy_code
-                    or tgt_species == self.vacancy_code
-                ):
-                    # Only reachable through stale data in naive mode (a
-                    # would-be boundary conflict); the sublattice protocol
-                    # forbids it.
-                    self.anomalies += 1
-                    kernel.deactivate(slot)
-                    continue
-                window.set_species_at_half(vac_half[None, :], tgt_species)
-                window.set_species_at_half(target_half[None, :], self.vacancy_code)
-                self.events += 1
-
-                # Record both sites (global coordinates) for the ghost exchange.
-                for half, species in (
-                    (vac_half, tgt_species), (target_half, self.vacancy_code)
-                ):
-                    s, padded = window.site_from_half(half[None, :])
-                    gcell = window.global_cell_of_padded(padded[0])
-                    changed_subs.append(int(s[0]))
-                    changed_cells.append(gcell)
-                    changed_species.append(int(species))
-
-                # Track the moved vacancy; it may have left the sector (or
-                # even the local box — ownership resolves at the post-cycle
-                # rescan).
-                kernel.move(slot, tuple(int(v) for v in target_half))
-                kernel.invalidate_near(np.stack([vac_half, target_half]))
-                left_box = not bool(window.is_local_half(target_half[None, :])[0])
-                left_sector = sector is not None and (
-                    int(
-                        self.sectors.sector_of_half(target_half[None, :], ghost)[0]
+                with profiler.phase("hop"):
+                    vac_half = np.asarray(kernel.key_of(slot), dtype=np.int64)
+                    target_half = vac_half + self.tet.nn_offsets[direction]
+                    # Swap occupants in the window (both species in one read).
+                    species = window.species_at_half(
+                        np.stack((vac_half, target_half))
                     )
-                    != sector
-                )
-                if left_box or left_sector:
-                    kernel.deactivate(slot)
+                    vac_species, tgt_species = species[0], species[1]
+                    if (
+                        vac_species != self.vacancy_code
+                        or tgt_species == self.vacancy_code
+                    ):
+                        # Only reachable through stale data in naive mode (a
+                        # would-be boundary conflict); the sublattice protocol
+                        # forbids it.
+                        self.anomalies += 1
+                        kernel.deactivate(slot)
+                        continue
+                    window.set_species_at_half(vac_half[None, :], tgt_species)
+                    window.set_species_at_half(
+                        target_half[None, :], self.vacancy_code
+                    )
+                    self.events += 1
+
+                    # Record both sites for the ghost exchange (converted in
+                    # one batch after the loop).
+                    changed_half.append(vac_half)
+                    changed_half.append(target_half)
+                    changed_species.append(int(tgt_species))
+                    changed_species.append(int(self.vacancy_code))
+
+                    # Track the moved vacancy; it may have left the sector
+                    # (or even the local box — ownership resolves at the
+                    # post-cycle rescan).
+                    kernel.move(slot, tuple(int(v) for v in target_half))
+                with profiler.phase("invalidate"):
+                    kernel.invalidate_near(np.stack([vac_half, target_half]))
+                with profiler.phase("hop"):
+                    left_box = not bool(
+                        window.is_local_half(target_half[None, :])[0]
+                    )
+                    left_sector = sector is not None and (
+                        int(
+                            self.sectors.sector_of_half(
+                                target_half[None, :], ghost
+                            )[0]
+                        )
+                        != sector
+                    )
+                    if left_box or left_sector:
+                        kernel.deactivate(slot)
         except NoMovesError:
             # Numerical edge: the tree clamp landed on a dead row — nothing
             # selectable remains in this sector.
             pass
         finally:
-            kernel.set_active(None)
+            with profiler.phase("rebuild"):
+                kernel.set_active(None)
 
-        if changed_cells:
-            return SiteUpdates(
-                np.array(changed_subs),
-                np.stack(changed_cells),
-                np.array(changed_species),
-            )
+        with profiler.phase("hop"):
+            if changed_half:
+                half = np.stack(changed_half)
+                subs, padded = window.site_from_half(half)
+                cells = window.global_cell_of_padded(padded)
+                return SiteUpdates(subs, cells, np.array(changed_species))
         return SiteUpdates.empty()
 
 
@@ -362,6 +388,9 @@ class SublatticeKMC:
         self.time = 0.0
         self.sector_index = 0
         self.cycles: List[CycleStats] = []
+        #: World-level profiler: the ghost-exchange/rescan block ("exchange").
+        #: Per-event phases accumulate on each rank's own profiler.
+        self.profiler = PhaseProfiler()
 
     def attach_cost_ledger(self, ledger):
         """Charge all ranks' rate evaluations to ``ledger`` (Fig. 9 model).
@@ -380,6 +409,16 @@ class SublatticeKMC:
         for rank in self.ranks:
             for key, value in rank.kernel.counters().items():
                 totals[key] = totals.get(key, 0) + int(value)
+        return totals
+
+    def _phase_totals(self) -> Dict[str, float]:
+        """Per-phase seconds summed over rank profilers + the world profiler."""
+        totals: Dict[str, float] = {}
+        for rank in self.ranks:
+            for name, secs in rank.profiler.seconds.items():
+                totals[name] = totals.get(name, 0.0) + secs
+        for name, secs in self.profiler.seconds.items():
+            totals[name] = totals.get(name, 0.0) + secs
         return totals
 
     def cycle(self) -> CycleStats:
@@ -404,6 +443,7 @@ class SublatticeKMC:
         events_before = [r.events for r in self.ranks]
         rejected_before = sum(r.rejected for r in self.ranks)
         kernel_before = self._kernel_counters()
+        phases_before = self._phase_totals()
 
         t0 = _time.perf_counter()
         run_sector = sector if self.sector_mode == "sublattice" else None
@@ -417,35 +457,37 @@ class SublatticeKMC:
         self.proximity_violations += self._count_proximity_violations(updates)
 
         # Exchange phase: everyone sends, then everyone applies (lockstep).
-        for rank, ups in zip(self.ranks, updates):
-            if rank.rank in killed:
-                continue
-            rank.exchanger.send_updates(ups)
-        for rank in self.ranks:
-            if rank.rank in killed:
-                continue
-            written_half = rank.exchanger.apply_updates()
-            if written_half.size:
-                rank.invalidate_near(written_half)
-            rank.exchanger.comm.barrier()
-            rank.rescan_vacancies()
-        self.world.assert_drained()
-        # Time synchronisation: the per-cycle event count flows through a
-        # counted collective, so CommStats calibration sees the allreduce
-        # traffic every real campaign pays.
-        events_cycle = int(
-            allreduce_sum(
-                self.world,
-                [
-                    float(r.events - before)
-                    for r, before in zip(self.ranks, events_before)
-                ],
+        with self.profiler.phase("exchange"):
+            for rank, ups in zip(self.ranks, updates):
+                if rank.rank in killed:
+                    continue
+                rank.exchanger.send_updates(ups)
+            for rank in self.ranks:
+                if rank.rank in killed:
+                    continue
+                written_half = rank.exchanger.apply_updates()
+                if written_half.size:
+                    rank.invalidate_near(written_half)
+                rank.exchanger.comm.barrier()
+                rank.rescan_vacancies()
+            self.world.assert_drained()
+            # Time synchronisation: the per-cycle event count flows through a
+            # counted collective, so CommStats calibration sees the allreduce
+            # traffic every real campaign pays.
+            events_cycle = int(
+                allreduce_sum(
+                    self.world,
+                    [
+                        float(r.events - before)
+                        for r, before in zip(self.ranks, events_before)
+                    ],
+                )
             )
-        )
 
         self.time += self.t_stop
         self.sector_index += 1
         kernel_after = self._kernel_counters()
+        phases_after = self._phase_totals()
         stats = CycleStats(
             sector=sector,
             events=events_cycle,
@@ -465,6 +507,12 @@ class SublatticeKMC:
                     "rate_batches",
                     "batched_rows",
                 )
+            },
+            **{
+                f"{name}_seconds": (
+                    phases_after.get(name, 0.0) - phases_before.get(name, 0.0)
+                )
+                for name in PHASES
             },
         )
         self.cycles.append(stats)
@@ -492,6 +540,9 @@ class SublatticeKMC:
         out["rejected"] = sum(r.rejected for r in self.ranks)
         out["cycles"] = len(self.cycles)
         out["time"] = self.time
+        phases = self._phase_totals()
+        for name in PHASES:
+            out[f"{name}_seconds"] = phases.get(name, 0.0)
         return out
 
     def _count_proximity_violations(self, updates) -> int:

@@ -1,0 +1,249 @@
+"""Vectorized vs legacy hot-path equivalence.
+
+The SoA rewrite of the event hot path is only admissible because it changes
+*layout*, not semantics: the broadcast invalidation query must hit exactly
+the slots the old per-point candidate scan hit (edge cases included), batch
+propensity updates must leave the same tree bits as scalar ones, and whole
+trajectories — serial and parallel — must be bit-identical across
+``EventKernel.set_hot_path`` modes.  See DESIGN.md ("Why the vectorized
+invalidation must not change the hit set").
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import TensorKMCEngine
+from repro.core.kernel import EventKernel, SimpleRateEntry
+from repro.core.profiling import PHASES, PhaseProfiler
+from repro.core.tet import TripleEncoding
+from repro.core.vacancy_cache import VacancyCache
+from repro.lattice.occupancy import LatticeState
+from repro.parallel.engine import SublatticeKMC
+from repro.potentials.eam import EAMPotential
+
+
+def _make_kernel(keys, *, threshold, scale=1.0, periodic=None, hot_path):
+    """A kernel over synthetic keys that *are* their half coordinates."""
+
+    def build(key):
+        return SimpleRateEntry(rates=np.full(8, 0.5))
+
+    def pos(key):
+        return np.asarray(key, dtype=np.int64)
+
+    return EventKernel(
+        build, pos, threshold=threshold, scale=scale,
+        periodic_half=periodic, keys=list(keys), hot_path=hot_path,
+    )
+
+
+def _mode_pair(keys, **kwargs):
+    return tuple(
+        _make_kernel(keys, hot_path=mode, **kwargs)
+        for mode in ("vectorized", "legacy")
+    )
+
+
+def _invalidate_both(kernels, points):
+    """Invalidate in both kernels; assert identical counts and stale sets."""
+    points = np.asarray(points, dtype=np.int64)
+    counts = [k.invalidate_near(points) for k in kernels]
+    assert counts[0] == counts[1]
+    stales = [k.cache.stale_slots() for k in kernels]
+    assert stales[0] == stales[1]
+    return counts[0], stales[0]
+
+
+class TestInvalidationEquivalence:
+    def test_reach_boundary_is_inclusive_in_both_modes(self):
+        keys = [(0, 0, 0), (4, 0, 0), (5, 0, 0)]
+        kernels = _mode_pair(keys, threshold=4.0)
+        for k in kernels:
+            k.refresh()
+        # (4,0,0) sits exactly at the threshold: the <= comparison (with the
+        # shared 1e-9 guard) must include it; (5,0,0) must stay fresh.
+        count, stale = _invalidate_both(kernels, [[0, 0, 0]])
+        assert count == 2
+        assert stale == [0, 1]
+
+    def test_periodic_wrap_hits_across_the_boundary(self):
+        periodic = (16, 16, 16)
+        keys = [(1, 0, 0), (15, 0, 0), (8, 0, 0)]
+        kernels = _mode_pair(keys, threshold=2.0, periodic=periodic)
+        for k in kernels:
+            k.refresh()
+        # (15,0,0) is 15 half-units away unwrapped but 1 via the periodic
+        # image; (8,0,0) is far either way.
+        count, stale = _invalidate_both(kernels, [[0, 0, 0]])
+        assert count == 2
+        assert stale == [0, 1]
+
+    def test_parked_slots_are_excluded(self):
+        keys = [(0, 0, 0), (1, 0, 0), (2, 0, 0)]
+        kernels = _mode_pair(keys, threshold=10.0)
+        for k in kernels:
+            k.refresh()
+            k.remove(1)
+        count, stale = _invalidate_both(kernels, [[0, 0, 0]])
+        assert count == 2
+        assert stale == [0, 2]
+
+    def test_already_stale_slots_do_not_recount(self):
+        keys = [(0, 0, 0), (1, 0, 0)]
+        kernels = _mode_pair(keys, threshold=10.0)
+        for k in kernels:
+            k.refresh()
+        _invalidate_both(kernels, [[0, 0, 0]])
+        # Second hit on an already-stale registry: zero *new* invalidations.
+        count, _ = _invalidate_both(kernels, [[0, 0, 0]])
+        assert count == 0
+
+    def test_fuzz_identical_hit_sets(self):
+        rng = np.random.default_rng(5)
+        periodic = (12, 12, 12)
+        for _ in range(25):
+            n = int(rng.integers(1, 20))
+            keys = {
+                tuple(int(v) for v in rng.integers(0, 12, size=3))
+                for _ in range(n)
+            }
+            kernels = _mode_pair(
+                sorted(keys), threshold=float(rng.uniform(0.5, 6.0)),
+                periodic=periodic,
+            )
+            for k in kernels:
+                k.refresh()
+            points = rng.integers(0, 12, size=(int(rng.integers(1, 4)), 3))
+            _invalidate_both(kernels, points)
+
+
+class TestTrajectoryIdentity:
+    def _engine(self, mode, seed=11):
+        tet = TripleEncoding(rcut=2.87)
+        potential = EAMPotential(tet.shell_distances)
+        lattice = LatticeState((6, 6, 6))
+        lattice.randomize_alloy(
+            np.random.default_rng(seed), cu_fraction=0.05,
+            vacancy_fraction=0.01,
+        )
+        engine = TensorKMCEngine(
+            lattice, potential, tet, rng=np.random.default_rng(seed + 1)
+        )
+        if mode == "legacy":
+            engine.evaluator.dedup = "always"
+            engine.kernel.set_hot_path("legacy")
+        engine.record_events = True
+        return engine
+
+    def test_serial_trajectories_bit_identical(self):
+        vec = self._engine("vectorized")
+        leg = self._engine("legacy")
+        vec.run(n_steps=60)
+        leg.run(n_steps=60)
+        assert vec.time == leg.time
+        assert np.array_equal(vec.lattice.occupancy, leg.lattice.occupancy)
+        assert vec.events == leg.events
+
+    def test_parallel_trajectories_bit_identical(self):
+        sims = []
+        for mode in ("vectorized", "legacy"):
+            tet = TripleEncoding(rcut=2.87)
+            potential = EAMPotential(tet.shell_distances)
+            lattice = LatticeState((8, 8, 16))
+            lattice.randomize_alloy(
+                np.random.default_rng(3), cu_fraction=0.05,
+                vacancy_fraction=0.01,
+            )
+            sim = SublatticeKMC(
+                lattice, potential, tet, n_ranks=2, temperature=1100.0,
+                t_stop=4e-9, seed=3,
+            )
+            if mode == "legacy":
+                for rank in sim.ranks:
+                    rank.evaluator.dedup = "always"
+                    rank.kernel.set_hot_path("legacy")
+            sim.run(6)
+            sims.append(sim)
+        vec, leg = sims
+        assert vec.time == leg.time
+        assert np.array_equal(
+            vec.gather_global().occupancy, leg.gather_global().occupancy
+        )
+        assert [c.events for c in vec.cycles] == [c.events for c in leg.cycles]
+        assert [c.sector for c in vec.cycles] == [c.sector for c in leg.cycles]
+
+
+class TestStoreBatchEquivalence:
+    def test_store_rates_matches_per_slot_store(self):
+        keys = [(i, 0, 0) for i in range(5)]
+        batch = VacancyCache(keys)
+        scalar = VacancyCache(keys)
+        rng = np.random.default_rng(2)
+        rows = rng.uniform(0.0, 3.0, size=(5, 8))
+        batch.store_rates(np.arange(5), rows)
+        for slot in range(5):
+            scalar.store(slot, SimpleRateEntry(rates=rows[slot]))
+        assert np.array_equal(batch.rates[:5], scalar.rates[:5])
+        assert np.array_equal(batch.total_rates[:5], scalar.total_rates[:5])
+        assert batch.stale_slots() == scalar.stale_slots() == []
+
+
+class TestPhaseProfiler:
+    def test_profiler_accumulates_and_resets(self):
+        prof = PhaseProfiler()
+        with prof.phase("select"):
+            pass
+        with prof.phase("select"):
+            pass
+        assert prof.calls["select"] == 2
+        assert prof.seconds["select"] >= 0.0
+        assert "select_seconds" in prof.summary()
+        prof.reset()
+        # Reset zeroes in place: cached timers keep their dict slots.
+        assert all(v == 0.0 for v in prof.seconds.values())
+        assert all(v == 0 for v in prof.calls.values())
+
+    def test_serial_summary_has_phase_seconds(self):
+        tet = TripleEncoding(rcut=2.87)
+        potential = EAMPotential(tet.shell_distances)
+        lattice = LatticeState((6, 6, 6))
+        lattice.randomize_alloy(
+            np.random.default_rng(1), cu_fraction=0.05, vacancy_fraction=0.01
+        )
+        engine = TensorKMCEngine(
+            lattice, potential, tet, rng=np.random.default_rng(2)
+        )
+        engine.run(n_steps=5)
+        summary = engine.summary()
+        for name in ("rebuild", "select", "hop", "invalidate"):
+            assert summary[f"{name}_seconds"] > 0.0
+
+    def test_parallel_cycle_stats_and_checkpoint_round_trip(self, tmp_path):
+        from repro.io.checkpoint import (
+            load_parallel_checkpoint,
+            save_parallel_checkpoint,
+        )
+
+        tet = TripleEncoding(rcut=2.87)
+        potential = EAMPotential(tet.shell_distances)
+        lattice = LatticeState((8, 8, 16))
+        lattice.randomize_alloy(
+            np.random.default_rng(7), cu_fraction=0.05, vacancy_fraction=0.01
+        )
+        sim = SublatticeKMC(
+            lattice, potential, tet, n_ranks=2, temperature=1100.0,
+            t_stop=4e-9, seed=7,
+        )
+        sim.run(4)
+        assert sum(c.rebuild_seconds for c in sim.cycles) > 0.0
+        assert sum(c.exchange_seconds for c in sim.cycles) > 0.0
+        summary = sim.summary()
+        for name in PHASES:
+            assert f"{name}_seconds" in summary
+
+        path = tmp_path / "phases.npz"
+        save_parallel_checkpoint(str(path), sim)
+        resumed = load_parallel_checkpoint(str(path), potential, tet=tet)
+        # CycleStats equality covers every field, the float64 phase seconds
+        # included — the archive must round-trip them bit-exactly.
+        assert resumed.cycles == sim.cycles

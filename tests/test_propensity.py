@@ -122,6 +122,84 @@ class TestEquivalence:
         assert np.allclose(freq, weights / weights.sum(), atol=0.03)
 
 
+class TestUpdateMany:
+    """Shared batch-update contract of both store implementations."""
+
+    @pytest.mark.parametrize("cls", [LinearPropensity, FenwickPropensity])
+    def test_matches_sequential_updates(self, cls):
+        values = [1.0, 0.0, 3.0, 2.5, 0.25]
+        batch = _filled(cls, values)
+        sequential = _filled(cls, values)
+        slots = np.array([4, 0, 2])
+        news = np.array([0.75, 9.0, 0.0])
+        batch.update_many(slots, news)
+        for s, v in zip(slots, news):
+            sequential.update(int(s), float(v))
+        assert np.array_equal(batch.values, sequential.values)
+        assert batch.total == sequential.total
+        if cls is FenwickPropensity:
+            assert np.array_equal(batch.tree, sequential.tree)
+
+    @pytest.mark.parametrize("cls", [LinearPropensity, FenwickPropensity])
+    def test_duplicate_slots_last_write_wins(self, cls):
+        store = _filled(cls, [1.0, 1.0, 1.0])
+        store.update_many([1, 1, 1], [5.0, 7.0, 2.0])
+        assert store.get(1) == 2.0
+
+    @pytest.mark.parametrize("cls", [LinearPropensity, FenwickPropensity])
+    def test_empty_batch_is_a_noop(self, cls):
+        store = _filled(cls, [1.0, 2.0])
+        store.update_many([], [])
+        assert store.total == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("cls", [LinearPropensity, FenwickPropensity])
+    def test_length_mismatch_rejected(self, cls):
+        store = cls(3)
+        with pytest.raises(ValueError):
+            store.update_many([0, 1], [1.0])
+
+    @pytest.mark.parametrize("cls", [LinearPropensity, FenwickPropensity])
+    def test_negative_values_rejected(self, cls):
+        store = cls(3)
+        with pytest.raises(ValueError):
+            store.update_many([0, 1], [1.0, -0.5])
+
+    @pytest.mark.parametrize("cls", [LinearPropensity, FenwickPropensity])
+    def test_out_of_range_slots_rejected(self, cls):
+        store = cls(3)
+        with pytest.raises(IndexError):
+            store.update_many([3], [1.0])
+        with pytest.raises(IndexError):
+            store.update_many([-1], [1.0])
+
+    @given(
+        values=values_strategy,
+        updates=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=63),
+                      st.floats(min_value=0.0, max_value=1e6)),
+            max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fuzz_batch_equals_sequential_bitwise(self, values, updates):
+        updates = [(s, v) for s, v in updates if s < len(values)]
+        batch_lin = _filled(LinearPropensity, values)
+        batch_fen = _filled(FenwickPropensity, values)
+        seq_lin = _filled(LinearPropensity, values)
+        seq_fen = _filled(FenwickPropensity, values)
+        if updates:
+            slots = np.array([s for s, _ in updates], dtype=np.int64)
+            news = np.array([v for _, v in updates])
+            batch_lin.update_many(slots, news)
+            batch_fen.update_many(slots, news)
+            for s, v in updates:
+                seq_lin.update(s, v)
+                seq_fen.update(s, v)
+        assert np.array_equal(batch_lin.values, seq_lin.values)
+        assert np.array_equal(batch_fen.values, seq_fen.values)
+        assert np.array_equal(batch_fen.tree, seq_fen.tree)
+        assert batch_fen.total == seq_fen.total
+
+
 class TestHistoryIndependence:
     """The tree must be a pure function of the values (checkpoint-exactness)."""
 
