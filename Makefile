@@ -1,6 +1,6 @@
 # Convenience targets for the TensorKMC reproduction.
 
-.PHONY: install test bench bench-smoke perf-trajectory fault-suite check examples snapshot
+.PHONY: install test bench bench-smoke perf-trajectory fault-suite backend-suite lint-backend check examples snapshot
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,9 +32,23 @@ fault-suite:
 	PYTHONPATH=src python -m pytest -x -q tests/test_parallel_checkpoint.py tests/test_fault_injection.py
 	PYTHONPATH=src python benchmarks/bench_checkpoint_smoke.py
 
-# What CI runs: tier-1 tests + the kernel smoke benchmark (followed by the
-# perf-trajectory diff against the committed baseline) + the fault suite.
+# Array-backend suite: the shim contract tests (NumPy bit-exactness,
+# resolver, torch parity when torch is importable — its tests auto-skip
+# otherwise), then the per-backend section of the kernel smoke benchmark.
+backend-suite:
+	PYTHONPATH=src python -m pytest -x -q tests/test_backend.py
+	PYTHONPATH=src python benchmarks/bench_kernel_smoke.py
+
+# Lint: fail if a hot-path module under src/repro/{operators,nnp,core}
+# grows a new direct `import numpy` outside the shim + frozen exemptions.
+lint-backend:
+	python tools/check_backend_imports.py
+
+# What CI runs: the backend-import lint, tier-1 tests, the kernel smoke
+# benchmark (followed by the perf-trajectory diff against the committed
+# baseline), and the fault suite.
 check:
+	$(MAKE) lint-backend
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) bench-smoke
 	$(MAKE) perf-trajectory

@@ -171,7 +171,9 @@ def run_miss_path() -> dict:
     }
 
 
-def _nnp_engine(batching: str, shape, seed: int) -> TensorKMCEngine:
+def _nnp_engine(
+    batching: str, shape, seed: int, backend=None
+) -> TensorKMCEngine:
     """A serial engine over a small randomly-initialised NNP."""
     tet = TripleEncoding(rcut=2.87)
     table = FeatureTable(tet.shell_distances)
@@ -192,7 +194,7 @@ def _nnp_engine(batching: str, shape, seed: int) -> TensorKMCEngine:
     )
     return TensorKMCEngine(
         lattice, model, tet,
-        rng=np.random.default_rng(seed), batching=batching,
+        rng=np.random.default_rng(seed), batching=batching, backend=backend,
     )
 
 
@@ -335,12 +337,46 @@ def run_hot_path(seed: int = 17) -> dict:
     }
 
 
+#: Events per backend timing round in the ``backend`` report section.
+BACKEND_EVENTS = 200
+BACKEND_ROUNDS = 2
+
+
+def run_backends(shape=(10, 10, 10), seed: int = 23) -> dict:
+    """Per-event NNP engine cost per *available* array backend.
+
+    The numpy entry is always present (it is the golden reference); a torch
+    entry appears only where torch is importable, so this section is
+    informational — it never makes torch a CI requirement.  Rounds are
+    interleaved across backends so runner drift hits everyone equally.
+    """
+    from repro.core.backend import available_backends
+
+    names = list(available_backends(probe=True))
+    best = {name: np.inf for name in names}
+    for _ in range(BACKEND_ROUNDS):
+        for name in names:
+            engine = _nnp_engine("auto", shape, seed, backend=name)
+            t0 = time.perf_counter()
+            engine.run(n_steps=BACKEND_EVENTS)
+            best[name] = min(best[name], time.perf_counter() - t0)
+    return {
+        name: {
+            "events": BACKEND_EVENTS,
+            "seconds": best[name],
+            "per_event_us": 1e6 * best[name] / BACKEND_EVENTS,
+        }
+        for name in names
+    }
+
+
 def run_smoke() -> dict:
     small = run_box((16, 8, 8))
     large = run_box((16, 16, 16))
     miss = run_miss_path()
     nnp_miss = run_nnp_miss_path()
     hot = run_hot_path()
+    backends = run_backends()
     ratio = large["per_event_us"] / small["per_event_us"]
     report = {
         "benchmark": "kernel_smoke",
@@ -353,6 +389,7 @@ def run_smoke() -> dict:
         "miss_path": miss,
         "nnp_miss_path": nnp_miss,
         "hot_path": hot,
+        "backend": backends,
         "ok": ratio < MAX_RATIO and miss["ok"] and nnp_miss["ok"]
         and hot["ok"],
     }
@@ -389,6 +426,12 @@ def test_hot_path_is_faster_and_trajectory_identical():
         assert entry["speedup"] >= entry["min_speedup"], entry
 
 
+def test_backend_section_reports_numpy():
+    backends = run_backends()
+    assert "numpy" in backends, backends
+    assert backends["numpy"]["per_event_us"] > 0.0, backends
+
+
 def main() -> int:
     report = run_smoke()
     print(json.dumps(report, indent=2))
@@ -421,6 +464,8 @@ def main() -> int:
             f"(min {entry['min_speedup']}), trajectory "
             f"{'OK' if entry['trajectory_identical'] else 'BROKEN'}"
         )
+    for name, entry in report["backend"].items():
+        print(f"backend {name}: {entry['per_event_us']:.1f} us/event")
     if not report["ok"]:
         if report["per_event_ratio"] >= MAX_RATIO:
             print("FAIL: per-event cost scales with the active-vacancy count")

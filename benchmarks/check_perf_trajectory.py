@@ -77,6 +77,14 @@ def tracked_metrics(report: dict) -> list:
                 f"hot_path.densities.{i}.phase_us_per_event.{p}"
                 for p in phases
             )
+    # Per-backend per-event cost (the numpy entry is always present; torch
+    # appears only where torch is importable, and the predates-the-baseline
+    # skip in compare() keeps mixed environments green).
+    backends = _dig(report, "backend")
+    if isinstance(backends, dict):
+        metrics.extend(
+            f"backend.{name}.per_event_us" for name in sorted(backends)
+        )
     return metrics
 
 
@@ -120,11 +128,29 @@ def main(argv=None) -> int:
                         help="allowed slowdown fraction (env PERF_TOLERANCE)")
     args = parser.parse_args(argv)
 
-    fresh = json.loads(Path(args.fresh).read_text())
+    # The gate must never block a tree that simply has no numbers to compare:
+    # a missing or unreadable report on either side is a warning, not a
+    # failure (regressions can only be judged against a real baseline).
+    try:
+        fresh = json.loads(Path(args.fresh).read_text())
+    except FileNotFoundError:
+        print(
+            f"perf-trajectory: no fresh report at {args.fresh} "
+            "(run `make bench-smoke` first); skipping"
+        )
+        return 0
+    except json.JSONDecodeError as exc:
+        print(f"perf-trajectory: fresh report {args.fresh} is not valid JSON "
+              f"({exc}); skipping")
+        return 0
     try:
         baseline = load_baseline(args.baseline)
     except (subprocess.CalledProcessError, FileNotFoundError):
         print(f"perf-trajectory: no baseline at {args.baseline}; skipping")
+        return 0
+    except json.JSONDecodeError as exc:
+        print(f"perf-trajectory: baseline {args.baseline} is not valid JSON "
+              f"({exc}); skipping")
         return 0
 
     checked = [

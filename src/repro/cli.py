@@ -86,6 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="path to a trained NNPotential .npz (default: EAM)")
     res.add_argument("--checkpoint", type=str, default=None,
                      help="write a fresh checkpoint when done")
+    res.add_argument("--backend", type=str, default=None,
+                     help="array backend for the resumed run (checkpoints "
+                          "are backend-free)")
 
     train = sub.add_parser("train", help="train an NNP on oracle data")
     train.add_argument("--rcut", type=float, default=6.5)
@@ -110,6 +113,9 @@ def _common_alloy_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--vacancies", type=float, default=None,
                    help="vacancy site fraction (default: paper value, min 1)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", type=str, default=None,
+                   help="array backend for the hot path (numpy, torch; "
+                        "default: $REPRO_BACKEND, then numpy)")
 
 
 def _print_hot_path_summary(summary, events: int) -> None:
@@ -159,7 +165,7 @@ def _cmd_run(args) -> int:
         from .io.checkpoint import load_checkpoint
 
         potential = _load_potential(args, tet)
-        engine = load_checkpoint(args.restart, potential)
+        engine = load_checkpoint(args.restart, potential, backend=args.backend)
         lattice = engine.lattice
     else:
         lattice = _make_lattice(args)
@@ -168,9 +174,11 @@ def _cmd_run(args) -> int:
             lattice, potential, tet, temperature=args.temperature,
             rng=np.random.default_rng(args.seed + 1),
             evaluation=args.evaluation,
+            backend=args.backend,
         )
     engine.run(n_steps=args.steps)
     stats = analyse_precipitation(lattice, engine.time)
+    print(f"backend = {engine.xp.name}")
     print(f"events = {engine.step_count}")
     print(f"time_s = {engine.time:.6e}")
     print(f"cache_hit_rate = {engine.cache.stats.hit_rate:.4f}")
@@ -216,7 +224,8 @@ def _cmd_parallel(args) -> int:
         tet = _tet_from_archive(args.restart)
         potential = _load_potential(args, tet)
         sim = load_parallel_checkpoint(
-            args.restart, potential, tet=tet, fault_plan=plan
+            args.restart, potential, tet=tet, fault_plan=plan,
+            backend=args.backend,
         )
         tet = sim.tet
     else:
@@ -226,7 +235,7 @@ def _cmd_parallel(args) -> int:
         sim = SublatticeKMC(
             lattice, potential, tet, n_ranks=args.ranks,
             temperature=args.temperature, t_stop=args.t_stop, seed=args.seed,
-            fault_plan=plan,
+            fault_plan=plan, backend=args.backend,
         )
     before = sim.gather_global().species_counts().copy()
     recoveries = 0
@@ -240,6 +249,7 @@ def _cmd_parallel(args) -> int:
     conserved = bool(
         np.array_equal(sim.gather_global().species_counts(), before)
     )
+    print(f"backend = {sim.xp.name}")
     print(f"ranks = {sim.decomposition.n_ranks}")
     print(f"grid = {sim.decomposition.grid}")
     print(f"cycles = {len(sim.cycles)}")
@@ -270,7 +280,9 @@ def _cmd_resume(args) -> int:
     kind = checkpoint_kind(args.path)
     print(f"kind = {kind}")
     if kind == "serial":
-        engine = load_checkpoint(args.path, potential, tet=tet)
+        engine = load_checkpoint(
+            args.path, potential, tet=tet, backend=args.backend
+        )
         engine.run(n_steps=args.steps)
         print(f"events = {engine.step_count}")
         print(f"time_s = {engine.time:.6e}")
@@ -278,7 +290,9 @@ def _cmd_resume(args) -> int:
             save_checkpoint(args.checkpoint, engine)
             print(f"checkpoint = {args.checkpoint}")
     else:
-        sim = load_parallel_checkpoint(args.path, potential, tet=tet)
+        sim = load_parallel_checkpoint(
+            args.path, potential, tet=tet, backend=args.backend
+        )
         sim.run(args.cycles)
         print(f"cycles = {len(sim.cycles)}")
         print(f"events = {sim.total_events}")

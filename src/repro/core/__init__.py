@@ -1,5 +1,15 @@
 """TensorKMC core: triple-encoding, vacancy cache, rates, and the engine."""
 
+from .backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    NumpyBackend,
+    TorchBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    to_numpy,
+)
 from .engine import KMCEvent, NoMovesError, SerialAKMCBase, TensorKMCEngine
 from .kernel import EventKernel, KernelStats, SimpleRateEntry, SpatialHashIndex
 from .profiling import PhaseProfiler
@@ -10,6 +20,14 @@ from .vacancy_cache import BatchEntries, CachedVacancySystem, VacancyCache
 from .vacancy_system import StateEnergies, VacancySystemEvaluator
 
 __all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "NumpyBackend",
+    "TorchBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "to_numpy",
     "KMCEvent",
     "NoMovesError",
     "SerialAKMCBase",

@@ -1,0 +1,496 @@
+"""Pluggable array backend — one Array-API-style namespace for the hot path.
+
+Every hot-path layer of the reproduction (trial-state construction, the
+fast feature operator, the deterministic tiled-GEMM inference, propensity
+bookkeeping, distance invalidation) is a pure array program: the same
+sequence of element-wise ops, gathers/scatters and GEMMs regardless of which
+library executes them.  TorchSim reports ~200x MLIP-path speedups from
+dispatching exactly such programs to GPU tensors, and the SMC-AI port makes
+the same argument for trillion-atom Monte Carlo — so instead of welding ~45
+modules to ``import numpy``, the hot path threads an :class:`ArrayBackend`
+handle whose methods *are* the library's functions.
+
+Contract
+--------
+* :class:`NumpyBackend` is the **bit-exact golden reference**: its methods
+  delegate directly to the very NumPy calls the pre-refactor code made, so a
+  refactored module running under it executes byte-for-byte the same
+  arithmetic.  All golden-checksum tests run against it unchanged.
+* :class:`TorchBackend` is optional and import-guarded: it registers lazily
+  and raises :class:`BackendUnavailableError` with a clear message when
+  torch is not importable.  CPU float64 agrees with NumPy to the last bit
+  for element-wise ops; float32 GEMMs may differ in final bits (different
+  BLAS blocking), so cross-backend agreement is enforced within documented
+  tolerances by ``tests/test_backend.py`` rather than bitwise.
+* **Serialisation boundaries stay NumPy.**  Everything that is written out
+  (checkpoints, BENCH JSON, xyz/event writers) or that encodes trajectory
+  identity (the vacancy cache's SoA slot arrays, lattice occupancy, RNG
+  streams) is NumPy-resident; backend arrays cross back through
+  :meth:`ArrayBackend.to_numpy` before they reach those structures.  A run
+  saved under one backend therefore restores under any other.
+
+Selection
+---------
+:func:`get_backend` resolves, in order: an explicit
+name/instance argument, the ``REPRO_BACKEND`` environment variable, and the
+``"numpy"`` default.  Engines and the CLI expose a ``backend=`` knob that
+feeds straight into it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "NumpyBackend",
+    "TorchBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "to_numpy",
+]
+
+#: Environment variable consulted by :func:`get_backend` when no explicit
+#: backend is requested.
+ENV_VAR = "REPRO_BACKEND"
+
+
+class BackendUnavailableError(RuntimeError):
+    """A registered backend cannot be constructed (missing dependency)."""
+
+
+class ArrayBackend:
+    """Array-API-style namespace shim the hot path is written against.
+
+    Concrete backends provide a small, documented op set; the NumPy
+    implementations are direct aliases of the :mod:`numpy` functions the
+    pre-refactor code called, which is what makes the default backend
+    bit-exact by construction.  Methods mirror NumPy call conventions
+    (``axis=``, ``dtype=`` keywords); dtype tokens (``xp.float32`` etc.) are
+    backend-native objects accepted by every method taking ``dtype``.
+
+    To add a backend: subclass, implement the ops below over your array
+    type, expose native dtype tokens, and :func:`register_backend` a factory
+    under a new name.  ``to_numpy``/``from_numpy`` must round-trip exactly;
+    ``from_numpy`` should be zero-copy where the library allows it.
+    """
+
+    #: Registry name of the backend.
+    name: str = "abstract"
+    #: True only for the golden-reference NumPy backend.
+    is_numpy: bool = False
+    #: True when :meth:`from_numpy` aliases host memory (zero-copy), so
+    #: backend views of live NumPy buffers track in-place updates.  False on
+    #: device backends (e.g. torch+CUDA), where consumers must re-stage.
+    aliases_host: bool = False
+
+    # -- conversion boundary -------------------------------------------
+    def asarray(self, x, dtype=None):
+        raise NotImplementedError
+
+    def from_numpy(self, x):
+        """Backend array sharing memory with ``x`` where possible."""
+        raise NotImplementedError
+
+    def to_numpy(self, x) -> np.ndarray:
+        """``x`` as a NumPy array (the serialisation boundary)."""
+        raise NotImplementedError
+
+    def astype(self, x, dtype):
+        raise NotImplementedError
+
+    # -- construction ---------------------------------------------------
+    def zeros(self, shape, dtype=None):
+        raise NotImplementedError
+
+    def empty(self, shape, dtype=None):
+        raise NotImplementedError
+
+    def arange(self, n, dtype=None):
+        raise NotImplementedError
+
+    def broadcast_copy(self, x, shape):
+        """A writable array of ``shape`` holding ``x`` broadcast into it."""
+        raise NotImplementedError
+
+    def concatenate(self, arrays, axis=0):
+        raise NotImplementedError
+
+    # -- elementwise / reductions --------------------------------------
+    def where(self, cond, a, b):
+        raise NotImplementedError
+
+    def sum(self, x, axis=None, dtype=None):
+        raise NotImplementedError
+
+    def any(self, x, axis=None):
+        raise NotImplementedError
+
+    def sqrt(self, x):
+        raise NotImplementedError
+
+    def round(self, x):
+        raise NotImplementedError
+
+    def relu_(self, x):
+        """In-place ``max(x, 0)`` — the fused bias+ReLU activation step."""
+        raise NotImplementedError
+
+    # -- linear algebra -------------------------------------------------
+    def matmul(self, a, b):
+        raise NotImplementedError
+
+    def einsum(self, spec, *operands):
+        raise NotImplementedError
+
+    def result_type(self, a, b):
+        raise NotImplementedError
+
+    # -- selection / ordering ------------------------------------------
+    def cumsum(self, x, axis=None):
+        raise NotImplementedError
+
+    def searchsorted(self, a, v, side="left"):
+        raise NotImplementedError
+
+    def unique_first_inverse(self, keys) -> Tuple[np.ndarray, object]:
+        """First-occurrence indices and inverse map of ``keys``.
+
+        ``first`` is returned as a NumPy index array (it indexes both
+        backend and NumPy arrays); ``inverse`` is a backend array aligned
+        with ``keys``.  Matches ``np.unique(keys, return_index=True,
+        return_inverse=True)[1:]`` semantics (sorted unique values).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class NumpyBackend(ArrayBackend):
+    """The golden reference: every op *is* the NumPy function.
+
+    ``from_numpy``/``to_numpy`` are identity passes for ndarrays, so code
+    threading this backend executes byte-for-byte what the pre-refactor
+    direct-``numpy`` code did — all existing checksum tests hold unchanged.
+    """
+
+    name = "numpy"
+    is_numpy = True
+    aliases_host = True
+
+    float32 = np.float32
+    float64 = np.float64
+    int64 = np.int64
+    int32 = np.int32
+    int8 = np.int8
+    bool_ = np.bool_
+
+    def asarray(self, x, dtype=None):
+        return np.asarray(x, dtype=dtype)
+
+    def from_numpy(self, x):
+        return np.asarray(x)
+
+    def to_numpy(self, x) -> np.ndarray:
+        return np.asarray(x)
+
+    def astype(self, x, dtype):
+        return np.asarray(x).astype(dtype)
+
+    def zeros(self, shape, dtype=None):
+        return np.zeros(shape, dtype=dtype)
+
+    def empty(self, shape, dtype=None):
+        return np.empty(shape, dtype=dtype)
+
+    def arange(self, n, dtype=None):
+        return np.arange(n, dtype=dtype)
+
+    def broadcast_copy(self, x, shape):
+        return np.broadcast_to(x, shape).copy()
+
+    def concatenate(self, arrays, axis=0):
+        return np.concatenate(arrays, axis=axis)
+
+    def where(self, cond, a, b):
+        return np.where(cond, a, b)
+
+    def sum(self, x, axis=None, dtype=None):
+        return np.sum(x, axis=axis, dtype=dtype)
+
+    def any(self, x, axis=None):
+        return np.any(x, axis=axis)
+
+    def sqrt(self, x):
+        return np.sqrt(x)
+
+    def round(self, x):
+        return np.round(x)
+
+    def relu_(self, x):
+        np.maximum(x, 0.0, out=x)
+        return x
+
+    def matmul(self, a, b):
+        return np.matmul(a, b)
+
+    def einsum(self, spec, *operands):
+        return np.einsum(spec, *operands)
+
+    def result_type(self, a, b):
+        return np.result_type(a, b)
+
+    def cumsum(self, x, axis=None):
+        return np.cumsum(x, axis=axis)
+
+    def searchsorted(self, a, v, side="left"):
+        return np.searchsorted(a, v, side=side)
+
+    def unique_first_inverse(self, keys):
+        _, first, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        return first, inverse
+
+
+class TorchBackend(ArrayBackend):
+    """PyTorch tensors behind the same namespace (CPU by default).
+
+    Import-guarded: constructing it without torch raises
+    :class:`BackendUnavailableError`.  ``from_numpy`` is zero-copy on CPU
+    (the tensor aliases the ndarray's buffer), which preserves the tiled
+    kernel's live-weight-aliasing contract; on CUDA devices weights are
+    re-staged per call instead.  Cross-backend agreement with the NumPy
+    reference is tolerance-based, not bitwise — see ``tests/test_backend.py``
+    for the enforced bounds.
+    """
+
+    name = "torch"
+    is_numpy = False
+
+    def __init__(self, device: Optional[str] = None) -> None:
+        try:
+            import torch
+        except ImportError as exc:  # pragma: no cover - env dependent
+            raise BackendUnavailableError(
+                "backend 'torch' requires PyTorch, which is not importable "
+                "in this environment (pip install torch); the 'numpy' "
+                "backend is always available"
+            ) from exc
+        self.torch = torch
+        self.device = torch.device(device or "cpu")
+        self.aliases_host = self.device.type == "cpu"
+        self.float32 = torch.float32
+        self.float64 = torch.float64
+        self.int64 = torch.int64
+        self.int32 = torch.int32
+        self.int8 = torch.int8
+        self.bool_ = torch.bool
+
+    # -- dtype plumbing -------------------------------------------------
+    def _dtype(self, dtype):
+        """Map a NumPy dtype / dtype token to the torch equivalent."""
+        if dtype is None or isinstance(dtype, self.torch.dtype):
+            return dtype
+        key = np.dtype(dtype).name
+        mapped = {
+            "float32": self.torch.float32,
+            "float64": self.torch.float64,
+            "int64": self.torch.int64,
+            "int32": self.torch.int32,
+            "int16": self.torch.int16,
+            "int8": self.torch.int8,
+            "uint8": self.torch.uint8,
+            "bool": self.torch.bool,
+        }.get(key)
+        if mapped is None:
+            raise TypeError(f"no torch equivalent for dtype {dtype!r}")
+        return mapped
+
+    def asarray(self, x, dtype=None):
+        return self.torch.as_tensor(
+            x, dtype=self._dtype(dtype), device=self.device
+        )
+
+    def from_numpy(self, x):
+        x = np.ascontiguousarray(x)
+        t = self.torch.from_numpy(x)
+        return t if self.device.type == "cpu" else t.to(self.device)
+
+    def to_numpy(self, x) -> np.ndarray:
+        if isinstance(x, self.torch.Tensor):
+            return x.detach().cpu().numpy()
+        return np.asarray(x)
+
+    def astype(self, x, dtype):
+        return self.asarray(x).to(self._dtype(dtype))
+
+    def zeros(self, shape, dtype=None):
+        return self.torch.zeros(
+            shape, dtype=self._dtype(dtype), device=self.device
+        )
+
+    def empty(self, shape, dtype=None):
+        return self.torch.empty(
+            shape, dtype=self._dtype(dtype), device=self.device
+        )
+
+    def arange(self, n, dtype=None):
+        return self.torch.arange(
+            n, dtype=self._dtype(dtype), device=self.device
+        )
+
+    def broadcast_copy(self, x, shape):
+        return self.asarray(x).expand(shape).clone()
+
+    def concatenate(self, arrays, axis=0):
+        return self.torch.cat([self.asarray(a) for a in arrays], dim=axis)
+
+    def where(self, cond, a, b):
+        cond = self.asarray(cond)
+        if not isinstance(a, self.torch.Tensor):
+            a = self.torch.as_tensor(a, device=self.device)
+        if not isinstance(b, self.torch.Tensor):
+            b = self.torch.as_tensor(
+                b, device=self.device, dtype=a.dtype
+                if a.dtype.is_floating_point
+                else None,
+            )
+        return self.torch.where(cond, a, b)
+
+    def sum(self, x, axis=None, dtype=None):
+        x = self.asarray(x)
+        if axis is None:
+            return x.sum(dtype=self._dtype(dtype))
+        return x.sum(dim=axis, dtype=self._dtype(dtype))
+
+    def any(self, x, axis=None):
+        x = self.asarray(x)
+        return x.any() if axis is None else x.any(dim=axis)
+
+    def sqrt(self, x):
+        return self.torch.sqrt(self.asarray(x))
+
+    def round(self, x):
+        return self.torch.round(self.asarray(x))
+
+    def relu_(self, x):
+        return x.clamp_(min=0.0)
+
+    def matmul(self, a, b):
+        return self.torch.matmul(a, b)
+
+    def einsum(self, spec, *operands):
+        return self.torch.einsum(spec, *operands)
+
+    def result_type(self, a, b):
+        return self.torch.result_type(self.asarray(a), self.asarray(b))
+
+    def cumsum(self, x, axis=None):
+        return self.torch.cumsum(self.asarray(x), dim=0 if axis is None else axis)
+
+    def searchsorted(self, a, v, side="left"):
+        v_t = self.torch.as_tensor(v, device=self.device)
+        return int(self.torch.searchsorted(a, v_t, side=side))
+
+    def unique_first_inverse(self, keys):
+        # torch.unique has no return_index; recover the first occurrence of
+        # each (sorted) unique value with a scatter-min over the inverse map.
+        uniq, inverse = self.torch.unique(keys, return_inverse=True)
+        first = self.torch.full(
+            (uniq.shape[0],),
+            keys.shape[0],
+            dtype=self.torch.int64,
+            device=self.device,
+        )
+        first.scatter_reduce_(
+            0,
+            inverse,
+            self.torch.arange(keys.shape[0], device=self.device),
+            reduce="amin",
+        )
+        return first.cpu().numpy(), inverse
+
+
+# ----------------------------------------------------------------------
+# Registry + resolution
+# ----------------------------------------------------------------------
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": NumpyBackend,
+    # Registered lazily: the factory runs (and may fail with a clear
+    # BackendUnavailableError) only when the backend is actually requested.
+    "torch": TorchBackend,
+}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _FACTORIES[str(name)] = factory
+    _INSTANCES.pop(str(name), None)
+
+
+def available_backends(probe: bool = False) -> Sequence[str]:
+    """Registered backend names; with ``probe=True`` only constructible ones."""
+    names = list(_FACTORIES)
+    if not probe:
+        return names
+    usable = []
+    for name in names:
+        try:
+            get_backend(name)
+        except BackendUnavailableError:
+            continue
+        usable.append(name)
+    return usable
+
+
+def get_backend(
+    name: Union[None, str, ArrayBackend] = None
+) -> ArrayBackend:
+    """Resolve a backend: explicit argument > ``REPRO_BACKEND`` > numpy.
+
+    Accepts an :class:`ArrayBackend` instance (returned as-is), a registered
+    name, or ``None``.  Unknown names raise :class:`ValueError` listing the
+    registry; names whose dependency is missing raise
+    :class:`BackendUnavailableError`.  Instances are cached per name.
+    """
+    if isinstance(name, ArrayBackend):
+        return name
+    if name is None:
+        name = os.environ.get(ENV_VAR) or "numpy"
+    name = str(name)
+    cached = _INSTANCES.get(name)
+    if cached is not None:
+        return cached
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown array backend {name!r}; registered backends: "
+            f"{sorted(_FACTORIES)}"
+        )
+    backend = factory()
+    _INSTANCES[name] = backend
+    return backend
+
+
+def to_numpy(x) -> np.ndarray:
+    """Any backend's array (or a scalar/sequence) as a NumPy array.
+
+    The one-stop serialisation boundary: checkpoint writers, BENCH JSON
+    emitters and the xyz/event writers funnel arrays through here so no
+    foreign array type ever reaches persistent state.
+    """
+    if isinstance(x, np.ndarray):
+        return x
+    for attr in ("detach",):  # torch tensors (avoid importing torch)
+        if hasattr(x, attr) and hasattr(x, "cpu"):
+            return x.detach().cpu().numpy()
+    return np.asarray(x)

@@ -26,6 +26,7 @@ import numpy as np
 from ..constants import TEMPERATURE_RPV
 from ..lattice.occupancy import LatticeState
 from ..potentials.base import CountsPotential
+from .backend import get_backend
 from .kernel import EventKernel, NoMovesError
 from .profiling import PhaseProfiler
 from .propensity import PropensityStore
@@ -91,6 +92,14 @@ class SerialAKMCBase:
         accumulation order make each row's bits batch-independent.
         ``"full"`` evaluation only; the ``"delta"`` ablation always runs
         scalar.
+    backend:
+        Array backend name/instance for the hot path (default: the
+        ``REPRO_BACKEND`` environment variable, falling back to the NumPy
+        golden reference).  The potential is asked to move its buffers via
+        :meth:`~repro.potentials.base.CountsPotential.set_backend`; the
+        evaluator and the event kernel thread the same handle.  Lattice
+        occupancy, the cache's slot arrays, and all serialised state stay
+        NumPy-resident whichever backend runs the math.
     """
 
     #: Whether cached vacancy systems may be reused between steps.
@@ -107,6 +116,7 @@ class SerialAKMCBase:
         evaluation: str = "full",
         batching: str = "auto",
         ea0=None,
+        backend=None,
     ) -> None:
         if abs(lattice.a - tet.geometry.a) > 1e-12:
             raise ValueError("lattice constant mismatch between lattice and TET")
@@ -124,7 +134,9 @@ class SerialAKMCBase:
         self.lattice = lattice
         self.potential = potential
         self.tet = tet
-        self.evaluator = VacancySystemEvaluator(tet, potential)
+        self.xp = get_backend(backend)
+        potential.set_backend(self.xp)
+        self.evaluator = VacancySystemEvaluator(tet, potential, backend=self.xp)
         if lattice.vacancy_code != self.evaluator.vacancy_code:
             raise ValueError(
                 f"lattice vacancy code {lattice.vacancy_code} != potential's "
@@ -149,6 +161,7 @@ class SerialAKMCBase:
                 if batching == "batched" and evaluation == "full"
                 else None
             ),
+            backend=self.xp,
         )
         self.time = 0.0
         self.step_count = 0

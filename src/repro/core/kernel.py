@@ -52,6 +52,7 @@ from typing import (
 
 import numpy as np
 
+from .backend import get_backend
 from .propensity import FenwickPropensity, LinearPropensity, PropensityStore
 from .vacancy_cache import BatchEntries, SimpleRateEntry, VacancyCache
 
@@ -70,12 +71,12 @@ class NoMovesError(RuntimeError):
     """Raised when no event can be executed (zero propensity / dead rate row)."""
 
 
-def make_store(kind: str, n_slots: int) -> PropensityStore:
+def make_store(kind: str, n_slots: int, backend=None) -> PropensityStore:
     """Construct a propensity store by name (``"tree"`` or ``"linear"``)."""
     if kind == "tree":
-        return FenwickPropensity(n_slots)
+        return FenwickPropensity(n_slots, backend=backend)
     if kind == "linear":
-        return LinearPropensity(n_slots)
+        return LinearPropensity(n_slots, backend=backend)
     raise ValueError(f"unknown propensity store {kind!r}")
 
 
@@ -266,6 +267,11 @@ class EventKernel:
         for the historical per-slot loops + spatial-hash narrowing.  The two
         are trajectory-equivalent; legacy exists for the old-vs-new
         benchmark and the equivalence tests.
+    backend:
+        Array backend name/instance (see :mod:`repro.core.backend`) used for
+        the broadcast invalidation query and the propensity store's slot
+        arrays.  The cache's SoA arrays and all keys/positions stay
+        NumPy-resident (they are the checkpoint serialisation boundary).
     """
 
     def __init__(
@@ -283,6 +289,7 @@ class EventKernel:
             Callable[[Sequence[Hashable]], Sequence[object]]
         ] = None,
         hot_path: str = "vectorized",
+        backend=None,
     ) -> None:
         self.build_entry = build_entry
         self.build_entries = build_entries
@@ -290,8 +297,9 @@ class EventKernel:
         self.threshold = float(threshold)
         self.scale = float(scale)
         self.use_cache = bool(use_cache)
+        self.xp = get_backend(backend)
         self.cache = VacancyCache(keys)
-        self.store = make_store(propensity, self.cache.n_slots)
+        self.store = make_store(propensity, self.cache.n_slots, backend=self.xp)
         self._reach = max(1, int(np.ceil((self.threshold + 1e-9) / self.scale)))
         self.periodic = (
             None
@@ -305,23 +313,40 @@ class EventKernel:
         self._active_mask: Optional[np.ndarray] = None
         for slot in self.cache.live_slots():
             self._set_centre(slot, self.position_of(self.cache.key_of(slot)))
-        self.hot_path = "vectorized"
+        self._hot_path = "vectorized"
         if hot_path != "vectorized":
             self.set_hot_path(hot_path)
 
     # ------------------------------------------------------------------
     # Hot-path selection + coordinate plumbing
     # ------------------------------------------------------------------
+    #: Allowed hot-path implementations.
+    HOT_PATHS = ("vectorized", "legacy")
+
+    @property
+    def hot_path(self) -> str:
+        """Active hot-path mode; assignment validates and switches paths."""
+        return self._hot_path
+
+    @hot_path.setter
+    def hot_path(self, mode: str) -> None:
+        # Route direct assignment through set_hot_path so an unknown mode
+        # string can never silently disable the spatial index bookkeeping.
+        self.set_hot_path(mode)
+
     def set_hot_path(self, mode: str) -> None:
         """Switch between the ``"vectorized"`` and ``"legacy"`` hot paths.
 
         Both compute identical stale sets and propensities; legacy re-runs
         the pre-SoA per-slot loops (spatial-hash candidates + scalar Fenwick
-        updates) for benchmarking and equivalence testing.
+        updates) for benchmarking and equivalence testing.  Raises
+        :class:`ValueError` for anything outside :data:`HOT_PATHS`.
         """
-        if mode not in ("vectorized", "legacy"):
-            raise ValueError(f"unknown hot path {mode!r}")
-        self.hot_path = mode
+        if mode not in self.HOT_PATHS:
+            raise ValueError(
+                f"unknown hot path {mode!r}; allowed modes: {self.HOT_PATHS}"
+            )
+        self._hot_path = mode
         if mode == "legacy":
             periodic = None if self.periodic is None else self.periodic
             self.index = SpatialHashIndex(self._reach, periodic)
@@ -602,16 +627,19 @@ class EventKernel:
         held = np.flatnonzero(cache.live & cache.fresh)
         if held.size == 0:
             return 0
-        delta = (
-            self._canonical(points).astype(np.float64)[:, None, :]
-            - cache.centres[held].astype(np.float64)[None, :, :]
-        )
+        # The broadcast distance query runs through the array backend; the
+        # NumPy backend executes the identical expression (same op order,
+        # same bits) the pre-refactor code inlined here.
+        xp = self.xp
+        pts = xp.from_numpy(self._canonical(points).astype(np.float64))
+        centres = xp.from_numpy(cache.centres[held].astype(np.float64))
+        delta = pts[:, None, :] - centres[None, :, :]
         if self.periodic is not None:
-            span = self.periodic.astype(np.float64)
-            delta -= span * np.round(delta / span)
-        delta *= self.scale
-        dist = np.sqrt(np.sum(delta * delta, axis=-1))
-        hit = np.any(dist <= self.threshold + 1e-9, axis=0)
+            span = xp.from_numpy(self.periodic.astype(np.float64))
+            delta = delta - span * xp.round(delta / span)
+        delta = delta * self.scale
+        dist = xp.sqrt(xp.sum(delta * delta, axis=-1))
+        hit = xp.to_numpy(xp.any(dist <= self.threshold + 1e-9, axis=0))
         hits = held[hit]
         cache.fresh[hits] = False
         cache.stats.invalidations += int(hits.size)

@@ -6,6 +6,13 @@ recomputes a cumulative sum every step (O(n)); the paper's "tree strategy for
 propensity update" (Sec. 4.4) keeps a Fenwick tree so that updates and
 selections are O(log n).  Both structures implement the same interface and
 the same selection semantics so the engines can use either.
+
+Both stores hold their slot arrays through an :class:`~.backend.ArrayBackend`
+handle (``backend=`` at construction); under the default NumPy backend every
+operation is the exact NumPy call the pre-refactor code made, so selection
+and update stay bit-identical.  Batch validation (`_checked_batch`) is
+host-side NumPy on purpose — slot indices and error reporting live at the
+serialisation boundary.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ from abc import ABC, abstractmethod
 from typing import Tuple
 
 import numpy as np
+
+from .backend import get_backend
 
 __all__ = ["PropensityStore", "LinearPropensity", "FenwickPropensity"]
 
@@ -111,11 +120,12 @@ class PropensityStore(ABC):
 class LinearPropensity(PropensityStore):
     """O(n) cumulative-sum selection — the non-tree baseline."""
 
-    def __init__(self, n_slots: int = 0) -> None:
-        self.values = np.zeros(n_slots, dtype=np.float64)
+    def __init__(self, n_slots: int = 0, backend=None) -> None:
+        self.xp = get_backend(backend)
+        self.values = self.xp.zeros(n_slots, dtype=self.xp.float64)
 
     def resize(self, n_slots: int) -> None:
-        self.values = np.zeros(n_slots, dtype=np.float64)
+        self.values = self.xp.zeros(n_slots, dtype=self.xp.float64)
 
     def grow(self, n_slots: int) -> None:
         n_slots = int(n_slots)
@@ -124,8 +134,11 @@ class LinearPropensity(PropensityStore):
                 f"grow cannot shrink: {n_slots} < {self.n_slots} slots"
             )
         if n_slots > self.n_slots:
-            self.values = np.concatenate(
-                [self.values, np.zeros(n_slots - self.n_slots, dtype=np.float64)]
+            self.values = self.xp.concatenate(
+                [
+                    self.values,
+                    self.xp.zeros(n_slots - self.n_slots, dtype=self.xp.float64),
+                ]
             )
 
     @property
@@ -139,20 +152,20 @@ class LinearPropensity(PropensityStore):
 
     def update_many(self, slots, values) -> None:
         s, v = _checked_batch(slots, values, self.n_slots)
-        self.values[s] = v
+        self.values[self.xp.from_numpy(s)] = self.xp.from_numpy(v)
 
     def get(self, slot: int) -> float:
         return float(self.values[slot])
 
     @property
     def total(self) -> float:
-        return float(self.values.sum())
+        return float(self.xp.sum(self.values))
 
     def select(self, u: float) -> Tuple[int, float]:
-        cum = np.cumsum(self.values)
-        if not 0.0 <= u < cum[-1]:
-            raise ValueError(f"u={u!r} outside [0, total={cum[-1]!r})")
-        slot = int(np.searchsorted(cum, u, side="right"))
+        cum = self.xp.cumsum(self.values)
+        if not 0.0 <= u < float(cum[-1]):
+            raise ValueError(f"u={u!r} outside [0, total={float(cum[-1])!r})")
+        slot = int(self.xp.searchsorted(cum, u, side="right"))
         self.last_select_depth = self.n_slots
         prev = float(cum[slot - 1]) if slot > 0 else 0.0
         return slot, u - prev
@@ -165,7 +178,8 @@ class FenwickPropensity(PropensityStore):
     paper's scalability runs.
     """
 
-    def __init__(self, n_slots: int = 0) -> None:
+    def __init__(self, n_slots: int = 0, backend=None) -> None:
+        self.xp = get_backend(backend)
         self.resize(n_slots)
 
     def resize(self, n_slots: int) -> None:
@@ -174,8 +188,8 @@ class FenwickPropensity(PropensityStore):
         self._cap = 1
         while self._cap < max(self.n, 1):
             self._cap *= 2
-        self.tree = np.zeros(self._cap + 1, dtype=np.float64)
-        self.values = np.zeros(self.n, dtype=np.float64)
+        self.tree = self.xp.zeros(self._cap + 1, dtype=self.xp.float64)
+        self.values = self.xp.zeros(self.n, dtype=self.xp.float64)
 
     def grow(self, n_slots: int) -> None:
         n_slots = int(n_slots)
@@ -186,8 +200,8 @@ class FenwickPropensity(PropensityStore):
         if n_slots <= self._cap:
             # The tree already spans the new slots (they aggregate as zero);
             # only the dense value array needs extending.
-            self.values = np.concatenate(
-                [self.values, np.zeros(n_slots - self.n, dtype=np.float64)]
+            self.values = self.xp.concatenate(
+                [self.values, self.xp.zeros(n_slots - self.n, dtype=self.xp.float64)]
             )
             self.n = n_slots
             return
@@ -229,7 +243,8 @@ class FenwickPropensity(PropensityStore):
         s, v = _checked_batch(slots, values, self.n)
         if s.size == 0:
             return
-        self.values[s] = v  # duplicates: last write wins, as sequentially
+        # duplicates: last write wins, as sequentially
+        self.values[self.xp.from_numpy(s)] = self.xp.from_numpy(v)
         # Each node's sum is formed child-by-child in the same order the
         # scalar path uses, so either refresh strategy leaves the tree
         # bitwise identical to a sequence of scalar updates.
@@ -251,11 +266,13 @@ class FenwickPropensity(PropensityStore):
         """
         self.tree[:] = 0.0
         self.tree[1 : self.n + 1] = self.values
+        # Node index bookkeeping stays host-side NumPy; only the float
+        # accumulations run through the backend arrays.
         idx = np.arange(1, self._cap + 1, dtype=np.int64)
         low = idx & (-idx)
         k = 1
         while k < self._cap:
-            nodes = idx[low > k]
+            nodes = self.xp.from_numpy(idx[low > k])
             self.tree[nodes] += self.tree[nodes - k]
             k <<= 1
 
@@ -269,7 +286,7 @@ class FenwickPropensity(PropensityStore):
     def _prefix(self, i: int) -> float:
         s = 0.0
         while i > 0:
-            s += self.tree[i]
+            s = s + float(self.tree[i])
             i -= i & (-i)
         return s
 
@@ -283,8 +300,8 @@ class FenwickPropensity(PropensityStore):
         depth = 0
         while step > 0:
             nxt = pos + step
-            if nxt <= self._cap and self.tree[nxt] <= rem:
-                rem -= self.tree[nxt]
+            if nxt <= self._cap and float(self.tree[nxt]) <= rem:
+                rem -= float(self.tree[nxt])
                 pos = nxt
             step //= 2
             depth += 1
@@ -292,5 +309,5 @@ class FenwickPropensity(PropensityStore):
         slot = pos  # pos = count of slots with cumulative <= u
         if slot >= self.n:  # numerical edge: clamp onto the last live slot
             slot = self.n - 1
-            rem = min(rem, self.values[slot])
+            rem = min(rem, float(self.values[slot]))
         return slot, rem

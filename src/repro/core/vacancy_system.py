@@ -18,6 +18,7 @@ import numpy as np
 
 from ..potentials.base import CountsPotential, counts_from_types
 from ..sunway.costmodel import CostLedger, charge_batched_rate_eval
+from .backend import get_backend
 from .tet import TripleEncoding
 
 __all__ = ["StateEnergies", "StateEnergiesBatch", "VacancySystemEvaluator"]
@@ -81,15 +82,31 @@ class VacancySystemEvaluator:
         The triple-encoding tables (geometry).
     potential:
         Any counts-based potential; its shells must match the TET's.
+    backend:
+        Array backend name/instance (see :mod:`repro.core.backend`) the
+        batched pipeline computes through.  Inputs and the returned
+        :class:`StateEnergies`/:class:`StateEnergiesBatch` are always NumPy
+        (the cache boundary); only the intermediate trial states / counts /
+        energies live on the backend.  The scalar delta path
+        (:meth:`evaluate_delta`) is NumPy-resident by design.
     """
 
-    def __init__(self, tet: TripleEncoding, potential: CountsPotential) -> None:
+    #: Allowed values of the :attr:`dedup` policy.
+    DEDUP_MODES = ("auto", "always", "never")
+
+    def __init__(
+        self,
+        tet: TripleEncoding,
+        potential: CountsPotential,
+        backend=None,
+    ) -> None:
         if potential.n_shells != tet.n_shells or not np.allclose(
             potential.shell_distances, tet.shell_distances
         ):
             raise ValueError("potential shells do not match the TET shells")
         self.tet = tet
         self.potential = potential
+        self.xp = get_backend(backend)
         self.n_elements = getattr(potential, "n_elements", 2)
         self.vacancy_code = self.n_elements
         #: Batched-row dedup policy: ``"auto"`` (default) dedups only for
@@ -122,6 +139,15 @@ class VacancySystemEvaluator:
             dtype=np.intp,
         )
         self._dir_rows = np.arange(1, self._n_states, dtype=np.intp)
+        # Backend-resident copies of the gather/scatter index tables (an
+        # identity pass under NumPy, a one-off device upload otherwise).
+        self._dir_targets_x = self.xp.from_numpy(
+            self._dir_targets.astype(np.int64)
+        )
+        self._dir_rows_x = self.xp.from_numpy(self._dir_rows.astype(np.int64))
+        self._net_ids_x = self.xp.from_numpy(
+            np.asarray(tet.net_ids, dtype=np.int64)
+        )
         # Per-direction patch tables for the vectorised delta path: local row
         # indices (within the direction's affected block) and shells touched
         # when the centre (gains an atom) / the target (loses one) flips.
@@ -141,6 +167,45 @@ class VacancySystemEvaluator:
             self._delta_target_shells.append(sm[sm >= 0].astype(np.intp))
             self._delta_pos0[k] = np.searchsorted(affected, 0)
             self._delta_posm[k] = np.searchsorted(affected, self._dir_targets[k])
+
+    # ------------------------------------------------------------------
+    # Dedup policy knob
+    # ------------------------------------------------------------------
+    @property
+    def dedup(self) -> str:
+        """Batched-row dedup policy; assignment validates the mode string."""
+        return self._dedup
+
+    @dedup.setter
+    def dedup(self, mode: str) -> None:
+        # An unrecognised string used to silently behave like "always";
+        # validate so typos fail loudly instead of changing the eval path.
+        if mode not in self.DEDUP_MODES:
+            raise ValueError(
+                f"unknown dedup mode {mode!r}; allowed modes: {self.DEDUP_MODES}"
+            )
+        self._dedup = mode
+
+    # ------------------------------------------------------------------
+    # Potential boundary
+    # ------------------------------------------------------------------
+    def _potential_energies(self, center_types, counts):
+        """Invoke the potential across the array-world boundary.
+
+        A potential advertises its residency via ``array_backend`` (absent
+        or ``None`` means NumPy-resident, e.g. the EAM tables).  Inputs are
+        converted into the potential's world and the result back into the
+        evaluator's backend; when both sides share a world — the common
+        case — every conversion is an identity pass, so the NumPy golden
+        path is untouched bit for bit.
+        """
+        pot_xp = getattr(self.potential, "array_backend", None)
+        if pot_xp is None:
+            pot_xp = get_backend("numpy")
+        energies = self.potential.energies_from_counts(
+            pot_xp.asarray(center_types), pot_xp.asarray(counts)
+        )
+        return self.xp.asarray(energies)
 
     # ------------------------------------------------------------------
     # Fig. 9 operator cost accounting
@@ -195,32 +260,38 @@ class VacancySystemEvaluator:
         """Trial states of ``B`` vacancy systems as a ``(B, 9, n_all)`` array.
 
         ``out[b]`` equals ``trial_vets(vets[b])``; the swap scatter runs once
-        over the whole batch (one fancy-indexed write per swap side).
+        over the whole batch (one fancy-indexed write per swap side).  The
+        result lives on the evaluator's array backend (a plain ndarray under
+        the default NumPy backend).
         """
-        vets = np.asarray(vets)
+        vets = np.asarray(self.xp.to_numpy(vets))
         if vets.ndim != 2 or vets.shape[1] != self.tet.n_all:
             raise ValueError(
                 f"VET batch must have shape (B, {self.tet.n_all}), "
                 f"got {vets.shape}"
             )
-        states = np.broadcast_to(
-            vets[:, None, :], (vets.shape[0], self._n_states, vets.shape[1])
-        ).copy()
-        targets = self._dir_targets
-        states[:, self._dir_rows, 0] = vets[:, targets]
-        states[:, self._dir_rows, targets] = vets[:, 0, None]
+        xp = self.xp
+        vx = xp.from_numpy(vets)
+        states = xp.broadcast_copy(
+            vx[:, None, :], (vets.shape[0], self._n_states, vets.shape[1])
+        )
+        targets = self._dir_targets_x
+        states[:, self._dir_rows_x, 0] = vx[:, targets]
+        states[:, self._dir_rows_x, targets] = vx[:, 0, None]
         return states
 
     def region_features_counts(self, states: np.ndarray) -> np.ndarray:
         """Shell-type counts of every region site of every state.
 
         Returns ``(n_states, n_region, n_shells, n_elements)``; this is the
-        exact workload of the fast feature operator (Sec. 3.4).
+        exact workload of the fast feature operator (Sec. 3.4), computed on
+        the evaluator's array backend.
         """
-        neighbor_types = states[:, self.tet.net_ids]  # (n_states, n_region, n_local)
+        states = self.xp.asarray(states)
+        neighbor_types = states[:, self._net_ids_x]  # (n_states, n_region, n_local)
         return counts_from_types(
             neighbor_types, self.tet.cet_shell, self.tet.n_shells,
-            n_elements=self.n_elements,
+            n_elements=self.n_elements, xp=self.xp,
         )
 
     def evaluate(self, vet: np.ndarray) -> StateEnergies:
@@ -232,8 +303,11 @@ class VacancySystemEvaluator:
         counts = self.region_features_counts(states)
         n_states, n_region = states.shape[0], self.tet.n_region
         center_types = states[:, :n_region].reshape(-1)
-        energies = self.potential.energies_from_counts(
-            center_types, counts.reshape(-1, self.tet.n_shells, counts.shape[-1])
+        energies = self.xp.to_numpy(
+            self._potential_energies(
+                self.xp.asarray(center_types),
+                counts.reshape(-1, self.tet.n_shells, counts.shape[-1]),
+            )
         ).reshape(n_states, n_region)
         self._charge_rate_eval(1)
         totals = energies.sum(axis=1, dtype=np.float64)
@@ -276,25 +350,30 @@ class VacancySystemEvaluator:
         ):
             return None
         vals = counts.reshape(counts.shape[0], -1)
-        n_vals = vals.shape[1]
+        n_vals = int(vals.shape[1])
+        n_rows = int(vals.shape[0])
         if (n_vals + 1) * 8 <= 64 and (
-            vals.size == 0 or vals.max() < 256
+            n_rows * n_vals == 0 or bool(vals.max() < 256)
         ):
-            packed = center_types.astype(np.int64)
-            ivals = vals.astype(np.int64)
+            packed = self.xp.astype(center_types, self.xp.int64)
+            ivals = self.xp.astype(vals, self.xp.int64)
             for j in range(n_vals):
                 packed = (packed << 8) | ivals[:, j]
-            key = packed
+            first, inverse = self.xp.unique_first_inverse(packed)
         else:
-            wide = np.empty((vals.shape[0], n_vals + 1), dtype=np.float32)
-            wide[:, 0] = center_types
-            wide[:, 1:] = vals
+            # The raw-bytes key relies on NumPy's void-dtype views; rows wide
+            # enough to land here are keyed host-side on any backend.
+            ct = self.xp.to_numpy(center_types)
+            v = self.xp.to_numpy(vals)
+            wide = np.empty((n_rows, n_vals + 1), dtype=np.float32)
+            wide[:, 0] = ct
+            wide[:, 1:] = v
             key = np.ascontiguousarray(wide).view(
                 np.dtype((np.void, wide.shape[1] * wide.itemsize))
             ).ravel()
-        _, first, inverse = np.unique(
-            key, return_index=True, return_inverse=True
-        )
+            _, first, inverse = np.unique(
+                key, return_index=True, return_inverse=True
+            )
         return first, inverse
 
     def evaluate_batch(self, vets: np.ndarray) -> StateEnergiesBatch:
@@ -350,15 +429,17 @@ class VacancySystemEvaluator:
         dedup = self._dedup_rows(center_types, flat_counts)
         if dedup is not None:
             first, inverse = dedup
-            energies = self.potential.energies_from_counts(
+            energies = self._potential_energies(
                 center_types[first], flat_counts[first]
             )[inverse].reshape(n_batch, self._n_states, n_region)
         else:
-            energies = self.potential.energies_from_counts(
+            energies = self._potential_energies(
                 center_types, flat_counts
             ).reshape(n_batch, self._n_states, n_region)
         self._charge_rate_eval(n_batch)
-        totals = energies.sum(axis=2, dtype=np.float64)
+        totals = self.xp.to_numpy(
+            self.xp.sum(energies, axis=2, dtype=self.xp.float64)
+        )
         nn_species = vets[:, 1 : 1 + n_dir]
         valid = nn_species != self.vacancy_code
         delta = np.where(valid, totals[:, 1:] - totals[:, :1], 0.0)
@@ -404,7 +485,7 @@ class VacancySystemEvaluator:
             n_elements=self.n_elements,
         )
         center0 = vet[: tet.n_region]
-        e0 = self.potential.energies_from_counts(center0, counts0)
+        e0 = self.xp.to_numpy(self._potential_energies(center0, counts0))
         initial = float(np.sum(e0, dtype=np.float64))
 
         nn_species = vet[1 : 1 + tet.N_DIRECTIONS]
@@ -457,7 +538,7 @@ class VacancySystemEvaluator:
                 self.vacancy_code
             )
 
-            e_f = self.potential.energies_from_counts(center_f, counts_f)
+            e_f = self.xp.to_numpy(self._potential_energies(center_f, counts_f))
             for i, k in enumerate(valid_dirs):
                 lo, hi = offsets[i], offsets[i + 1]
                 delta[k] = float(

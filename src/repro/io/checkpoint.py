@@ -30,6 +30,7 @@ import json
 
 import numpy as np
 
+from ..core.backend import to_numpy
 from ..core.engine import SerialAKMCBase, TensorKMCEngine
 from ..core.tet import TripleEncoding
 from ..lattice.occupancy import LatticeState
@@ -72,7 +73,9 @@ def save_checkpoint(path: str, engine: SerialAKMCBase) -> None:
     np.savez_compressed(
         path,
         kind=np.array(["serial"]),
-        occupancy=engine.lattice.occupancy,
+        # to_numpy: the explicit serialisation boundary — checkpoints hold
+        # plain NumPy arrays whichever backend ran the math.
+        occupancy=to_numpy(engine.lattice.occupancy),
         shape=np.array(engine.lattice.shape, dtype=np.int64),
         a=np.array([engine.lattice.a]),
         time=np.array([engine.time]),
@@ -94,6 +97,7 @@ def load_checkpoint(
     path: str,
     potential: CountsPotential,
     tet: TripleEncoding | None = None,
+    backend=None,
 ) -> TensorKMCEngine:
     """Rebuild a :class:`TensorKMCEngine` that continues bit-exactly.
 
@@ -104,6 +108,10 @@ def load_checkpoint(
         continuation; it is not stored in the checkpoint).
     tet:
         Optional pre-built TET; rebuilt from the stored cutoff otherwise.
+    backend:
+        Array backend for the resumed run.  Checkpoints are backend-free
+        (everything serialises as NumPy), so a run saved under one backend
+        restores under any other.
     """
     data = np.load(path, allow_pickle=False)
     if "kind" in data.files and str(data["kind"][0]) != "serial":
@@ -131,6 +139,7 @@ def load_checkpoint(
         propensity=str(data["propensity"][0]),
         evaluation=str(data["evaluation"][0]),
         batching=batching,
+        backend=backend,
     )
     engine.time = float(data["time"][0])
     engine.step_count = int(data["step_count"][0])
@@ -205,7 +214,7 @@ def save_parallel_checkpoint(path: str, sim) -> None:
         "proximity_violations": np.array(
             [sim.proximity_violations], dtype=np.int64
         ),
-        "occupancy": sim.gather_global().occupancy,
+        "occupancy": to_numpy(sim.gather_global().occupancy),
         "world_stats": np.array(
             [getattr(stats, f) for f in _COMM_FIELDS], dtype=np.int64
         ),
@@ -216,7 +225,7 @@ def save_parallel_checkpoint(path: str, sim) -> None:
     }
     for r, rank in enumerate(sim.ranks):
         keys = rank.kernel.cache.sites
-        arrays[f"rank{r}_occupancy"] = rank.window.occupancy
+        arrays[f"rank{r}_occupancy"] = to_numpy(rank.window.occupancy)
         arrays[f"rank{r}_rng"] = np.array(
             [json.dumps(rank.rng.bit_generator.state)]
         )
@@ -245,13 +254,15 @@ def load_parallel_checkpoint(
     potential: CountsPotential,
     tet: TripleEncoding | None = None,
     fault_plan=None,
+    backend=None,
 ):
     """Rebuild a :class:`SublatticeKMC` whose continuation is bit-exact.
 
     ``potential`` (and optionally ``tet``) are reconstructed by the caller
     exactly as for the serial loader; ``fault_plan`` re-attaches a (stateful)
     :class:`~repro.parallel.faults.FaultPlan` so rollback-and-replay recovery
-    does not re-trigger already-fired faults.
+    does not re-trigger already-fired faults.  ``backend`` selects the array
+    backend of the resumed run (checkpoints themselves are backend-free).
     """
     from ..parallel.engine import CycleStats, SublatticeKMC
 
@@ -278,6 +289,7 @@ def load_parallel_checkpoint(
         seed=int(data["seed"][0]),
         sector_mode=str(data["sector_mode"][0]),
         fault_plan=fault_plan,
+        backend=backend,
     )
     sim.time = float(data["time"][0])
     sim.sector_index = int(data["sector_index"][0])

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.backend import get_backend
 from ..sunway.costmodel import CostLedger
 from ..sunway.spec import SunwaySpec
 
@@ -22,13 +23,18 @@ _F32 = 4
 
 
 def fused_layer(
-    x: np.ndarray, w: np.ndarray, b: np.ndarray, last: bool = False
+    x: np.ndarray, w: np.ndarray, b: np.ndarray, last: bool = False, xp=None
 ) -> np.ndarray:
-    """One fused (GEMM + bias + ReLU) layer; no activation on the last layer."""
-    out = x @ w
+    """One fused (GEMM + bias + ReLU) layer; no activation on the last layer.
+
+    ``xp`` selects the array backend (default: the NumPy reference, under
+    which every op is the identical pre-backend NumPy call).
+    """
+    xp = get_backend("numpy") if xp is None else get_backend(xp)
+    out = xp.matmul(x, w)
     out += b
     if not last:
-        np.maximum(out, 0.0, out=out)
+        xp.relu_(out)
     return out
 
 

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..constants import T_STOP, TEMPERATURE_RPV
+from ..core.backend import get_backend
 from ..core.kernel import EventKernel, NoMovesError
 from ..core.profiling import PHASES, PhaseProfiler
 from ..core.rates import RateModel, residence_time
@@ -120,6 +121,7 @@ class RankState:
                 if getattr(evaluator.potential, "batch_row_invariant", False)
                 else None
             ),
+            backend=evaluator.xp,
         )
         self.events = 0
         self.rejected = 0
@@ -329,6 +331,11 @@ class SublatticeKMC:
         rank kills, surfaced as structured
         :class:`~repro.parallel.comm.ProtocolError`\\ s (see
         ``repro.parallel.recovery`` for the rollback-and-replay driver).
+    backend:
+        Array backend name/instance for every rank's hot path (default:
+        ``REPRO_BACKEND`` env, then the NumPy golden reference).  All ranks
+        share one evaluator and hence one backend; window occupancy, ghost
+        exchange buffers and checkpoints stay NumPy-resident.
     """
 
     def __init__(
@@ -344,6 +351,7 @@ class SublatticeKMC:
         sector_mode: str = "sublattice",
         ea0=None,
         fault_plan: Optional[FaultPlan] = None,
+        backend=None,
     ) -> None:
         if sector_mode not in ("sublattice", "naive"):
             raise ValueError(f"unknown sector_mode {sector_mode!r}")
@@ -357,7 +365,9 @@ class SublatticeKMC:
         grid = grid or choose_grid(n_ranks, lattice.shape)
         self.decomposition = GridDecomposition(lattice.shape, grid)
         self.world = SimCommWorld(self.decomposition.n_ranks, fault_plan=fault_plan)
-        evaluator = VacancySystemEvaluator(tet, potential)
+        self.xp = get_backend(backend)
+        potential.set_backend(self.xp)
+        evaluator = VacancySystemEvaluator(tet, potential, backend=self.xp)
         if lattice.vacancy_code != evaluator.vacancy_code:
             raise ValueError(
                 f"lattice vacancy code {lattice.vacancy_code} != potential's "

@@ -72,7 +72,8 @@ def run_resilient(
             # not replay; the failed cycle never committed any state we keep.
             plan = sim.world.fault_plan
             sim = load_parallel_checkpoint(
-                checkpoint_path, potential, tet=tet, fault_plan=plan
+                checkpoint_path, potential, tet=tet, fault_plan=plan,
+                backend=sim.xp,
             )
             continue
         if len(sim.cycles) % checkpoint_every == 0:

@@ -1,0 +1,114 @@
+"""Lint: keep the hot path behind the array-backend shim.
+
+The backend refactor threads an ``ArrayBackend`` handle (``repro.core.backend``)
+through every hot-path layer; new code in those layers must take ``xp``
+rather than reaching for ``import numpy`` directly, or it silently pins the
+torch path back to host arrays.  This script fails when a module under
+``src/repro/{operators,nnp,core}`` imports numpy and is *not* on the frozen
+exemption list below.
+
+The exemption list is exactly the set of importers at the time the shim
+landed — modules whose numpy use is deliberate (the shim itself, the
+NumPy-verbatim golden branches, training/backprop, host-side bookkeeping).
+It is frozen on purpose: removing an entry as a module is weaned off numpy
+is encouraged, adding one requires editing this file and explaining the new
+host-resident dependency in review.
+
+Usage::
+
+    python tools/check_backend_imports.py
+
+Exit status 0 when clean, 1 with a per-file report otherwise.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+
+#: The hot-path packages the shim covers.
+HOT_PATH_DIRS = ("operators", "nnp", "core")
+
+#: Modules allowed to import numpy directly, frozen at shim-landing time.
+#: Each entry is repo-relative.  Remove entries freely; additions need a
+#: written justification here.
+EXEMPT = frozenset(
+    {
+        # The shim itself and its NumPy reference backend.
+        "src/repro/core/backend.py",
+        # Hot-path modules keeping a verbatim-NumPy golden branch and/or
+        # host-side bookkeeping (masks, RNG, serialisation staging).
+        "src/repro/core/engine.py",
+        "src/repro/core/kernel.py",
+        "src/repro/core/propensity.py",
+        "src/repro/core/rates.py",
+        "src/repro/core/tet.py",
+        "src/repro/core/vacancy_cache.py",
+        "src/repro/core/vacancy_system.py",
+        "src/repro/nnp/model.py",
+        "src/repro/nnp/network.py",
+        "src/repro/operators/bigfusion.py",
+        "src/repro/operators/fused.py",
+        "src/repro/operators/tilegemm.py",
+        # NumPy-resident by design (training, data prep, cost models).
+        "src/repro/nnp/dataset.py",
+        "src/repro/nnp/descriptors.py",
+        "src/repro/nnp/metrics.py",
+        "src/repro/nnp/training.py",
+        "src/repro/operators/conv.py",
+        "src/repro/operators/feature_op.py",
+        "src/repro/operators/variants.py",
+    }
+)
+
+
+def imports_numpy(path: Path) -> bool:
+    """True when the module imports numpy at any level (ast-based, so
+    comments and docstrings never false-positive)."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(a.name.split(".")[0] == "numpy" for a in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "numpy":
+                return True
+    return False
+
+
+def main() -> int:
+    offenders = []
+    for sub in HOT_PATH_DIRS:
+        for path in sorted((SRC / sub).rglob("*.py")):
+            rel = path.relative_to(REPO_ROOT).as_posix()
+            if rel in EXEMPT:
+                continue
+            if imports_numpy(path):
+                offenders.append(rel)
+    stale = sorted(
+        rel for rel in EXEMPT if not (REPO_ROOT / rel).is_file()
+    )
+    for rel in stale:
+        print(f"backend-imports: note: exempt file no longer exists: {rel}")
+    if offenders:
+        print("backend-imports: new direct numpy import in the hot path:")
+        for rel in offenders:
+            print(f"  {rel}")
+        print(
+            "backend-imports: thread the ArrayBackend handle (xp) instead, "
+            "or add an explained exemption in tools/check_backend_imports.py"
+        )
+        return 1
+    print(
+        f"backend-imports: OK ({len(EXEMPT)} exemptions, "
+        f"{len(stale)} stale)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
