@@ -1,6 +1,6 @@
 # Convenience targets for the TensorKMC reproduction.
 
-.PHONY: install test bench bench-smoke perf-trajectory fault-suite backend-suite lint-backend check examples snapshot
+.PHONY: install test bench bench-smoke perf-trajectory fault-suite backend-suite rebuild-suite lint-backend check examples snapshot
 
 install:
 	pip install -e . --no-build-isolation
@@ -39,6 +39,15 @@ backend-suite:
 	PYTHONPATH=src python -m pytest -x -q tests/test_backend.py
 	PYTHONPATH=src python benchmarks/bench_kernel_smoke.py
 
+# Rebuild-path suite: the incremental (delta) rebuild contract tests —
+# snapshot/bit-exactness fuzz plus serial and parallel trajectory identity
+# across rebuild_path modes — then the rebuild_path section of the kernel
+# smoke benchmark (delta vs full, rebuild-phase speedup gate, digest
+# identity).
+rebuild-suite:
+	PYTHONPATH=src python -m pytest -x -q tests/test_rebuild_path.py
+	PYTHONPATH=src python -m pytest -x -q benchmarks/bench_kernel_smoke.py::test_rebuild_path_is_faster_and_trajectory_identical
+
 # Lint: fail if a hot-path module under src/repro/{operators,nnp,core}
 # grows a new direct `import numpy` outside the shim + frozen exemptions.
 lint-backend:
@@ -46,12 +55,13 @@ lint-backend:
 
 # What CI runs: the backend-import lint, tier-1 tests, the kernel smoke
 # benchmark (followed by the perf-trajectory diff against the committed
-# baseline), and the fault suite.
+# baseline), the rebuild-path suite, and the fault suite.
 check:
 	$(MAKE) lint-backend
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) bench-smoke
 	$(MAKE) perf-trajectory
+	$(MAKE) rebuild-suite
 	$(MAKE) fault-suite
 
 examples:

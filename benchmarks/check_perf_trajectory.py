@@ -77,6 +77,21 @@ def tracked_metrics(report: dict) -> list:
                 f"hot_path.densities.{i}.phase_us_per_event.{p}"
                 for p in phases
             )
+    densities = _dig(report, "rebuild_path.densities")
+    if isinstance(densities, list):
+        for i, entry in enumerate(densities):
+            metrics.append(
+                f"rebuild_path.densities.{i}.delta_per_event_us"
+            )
+            metrics.append(
+                f"rebuild_path.densities.{i}.delta_rebuild_us_per_event"
+            )
+            phases = entry.get("phase_us_per_event", {})
+            if isinstance(phases.get("delta"), dict):
+                metrics.extend(
+                    f"rebuild_path.densities.{i}.phase_us_per_event.delta.{p}"
+                    for p in phases["delta"]
+                )
     # Per-backend per-event cost (the numpy entry is always present; torch
     # appears only where torch is importable, and the predates-the-baseline
     # skip in compare() keeps mixed environments green).

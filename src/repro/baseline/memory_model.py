@@ -71,12 +71,16 @@ def tensorkmc_memory_model(
     n_vacancies: int,
     tet: TripleEncoding,
     table: FeatureTable | None = None,
+    delta_snapshots: bool = True,
 ) -> Dict[str, float]:
     """Bytes of the TensorKMC state for the same domain.
 
     Only the occupancy array scales with the domain; the vacancy cache scales
     with the (dilute) vacancy count, and the shared TET/feature tables are
-    O(1).
+    O(1).  ``delta_snapshots`` charges the incremental-rebuild payload each
+    live entry carries under ``rebuild_path="delta"`` (the engine default via
+    ``"auto"``): the per-trial-state row-energy matrix plus the dirty-row
+    mask.  Pass ``False`` for the ``rebuild_path="full"`` footprint.
     """
     entry_bytes = (
         tet.n_all * 8  # vet_ids (int64)
@@ -84,6 +88,12 @@ def tensorkmc_memory_model(
         + 8 * 8  # rates (float64, 8 directions)
         + 8 * 8 + 8 + 8 * 1 + 8 * 1  # StateEnergies payload
     )
+    if delta_snapshots:
+        n_states = 1 + tet.N_DIRECTIONS  # resident + 8 trial swaps
+        entry_bytes += (
+            n_states * tet.n_region * 8  # row-energy snapshot (float64)
+            + tet.n_region * 1  # dirty-row mask (bool)
+        )
     tet_bytes = (
         tet.all_offsets.nbytes + tet.net_ids.nbytes + tet.cet_offsets.nbytes
         + tet.cet_shell.nbytes

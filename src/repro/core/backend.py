@@ -141,6 +141,15 @@ class ArrayBackend:
         """In-place ``max(x, 0)`` — the fused bias+ReLU activation step."""
         raise NotImplementedError
 
+    def scatter_add(self, x, indices, values):
+        """In-place ``x[indices] += values`` with duplicate accumulation.
+
+        ``indices`` is a tuple of integer index arrays (one per axis of
+        ``x``, NumPy fancy-indexing style); repeated index tuples accumulate
+        instead of racing, matching ``np.add.at``.  Returns ``x``.
+        """
+        raise NotImplementedError
+
     # -- linear algebra -------------------------------------------------
     def matmul(self, a, b):
         raise NotImplementedError
@@ -236,6 +245,10 @@ class NumpyBackend(ArrayBackend):
 
     def relu_(self, x):
         np.maximum(x, 0.0, out=x)
+        return x
+
+    def scatter_add(self, x, indices, values):
+        np.add.at(x, tuple(np.asarray(i) for i in indices), values)
         return x
 
     def matmul(self, a, b):
@@ -383,6 +396,14 @@ class TorchBackend(ArrayBackend):
 
     def relu_(self, x):
         return x.clamp_(min=0.0)
+
+    def scatter_add(self, x, indices, values):
+        idx = [self.asarray(i, dtype=self.torch.int64) for i in indices]
+        vals = self.asarray(values, dtype=x.dtype)
+        if vals.dim() == 0:
+            vals = vals.expand(idx[0].shape)
+        x.index_put_(idx, vals, accumulate=True)
+        return x
 
     def matmul(self, a, b):
         return self.torch.matmul(a, b)

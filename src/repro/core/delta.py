@@ -1,0 +1,193 @@
+"""Incremental rebuild support — the miss pipeline as a re-rate.
+
+The full miss path re-derives everything for every stale slot: gather
+``occupancy[vet_ids]``, re-encode all ``(9, n_all)`` trial states, run the
+potential over every row.  But a hop flips exactly two sites, so almost all
+of that work reproduces bits the cache already holds.  This module owns the
+driver-side half of the ``rebuild_path="delta"`` mode (paper Sec. 3.2's
+keep-it-resident argument applied to the encoded state itself):
+
+* :meth:`DeltaRebuilder.patch_entries` — called by the kernel's distance
+  invalidation with the changed half-positions: it maps them to site ids,
+  reads the *current* species, scatter-updates the stored VET snapshots of
+  every hit slot and accumulates which region rows went dirty (via the
+  evaluator's per-position dirty-row table).
+* :meth:`DeltaRebuilder.build_entries` — the delta-aware refresh: slots
+  with a snapshot re-rate only their dirty rows through
+  :meth:`~repro.core.vacancy_system.VacancySystemEvaluator.evaluate_rows`;
+  slots without one (fresh hops, recycled slots, post-restore) are gathered
+  from scratch.  Both sets share a single concatenated potential call, so
+  the per-call fixed cost is paid once per refresh, exactly as in the full
+  path.
+
+Bit-exactness: patched VETs are exact integer species codes (identical to a
+re-gather), shell counts are exact integers in float32, and the shipped
+potentials are row-invariant (``batch_row_invariant``), so splicing freshly
+re-rated rows into the cached ``(B, 9, n_region)`` energy matrix reproduces
+the full build's matrix bit for bit — and the shared
+``batch_from_row_energies`` tail then yields bitwise-identical rates.
+
+The two engines differ only in coordinate plumbing, injected as callbacks:
+
+* ``sites_of(keys)`` — centre ids of a key batch (flat lattice ids for the
+  serial engine, window-flat ids for a parallel rank);
+* ``gather(keys)`` — from-scratch ``(vet_ids, vets)`` for a key subset;
+* ``locate(points_half)`` — current ``(ids, species)`` at changed
+  half-positions, in the same id space as the stored ``vet_ids``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence, Tuple
+
+import numpy as np
+
+from .vacancy_cache import BatchEntries, VacancyCache
+from .vacancy_system import VacancySystemEvaluator
+
+__all__ = ["DeltaRebuilder"]
+
+
+class DeltaRebuilder:
+    """Driver-side callbacks for the kernel's incremental rebuild path."""
+
+    def __init__(
+        self,
+        cache: VacancyCache,
+        evaluator: VacancySystemEvaluator,
+        rate_model,
+        *,
+        sites_of: Callable[[Sequence[Hashable]], np.ndarray],
+        gather: Callable[[Sequence[Hashable]], Tuple[np.ndarray, np.ndarray]],
+        locate: Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        self.cache = cache
+        self.evaluator = evaluator
+        self.rate_model = rate_model
+        self.sites_of = sites_of
+        self.gather = gather
+        self.locate = locate
+        self._r_all = np.arange(evaluator.tet.n_region, dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    # Invalidation payload: scatter lattice changes into the snapshots
+    # ------------------------------------------------------------------
+    def patch_entries(self, slots: np.ndarray, points_half: np.ndarray) -> None:
+        """Sync the hit slots' VET snapshots with the changed positions.
+
+        ``slots`` are the delta-ready slots the kernel's distance query hit;
+        ``points_half`` the changed half-positions.  The current species are
+        read from the driver's live state (the swap has already executed),
+        so a position written twice in one exchange still lands on its final
+        value.  Positions outside a slot's window simply match nothing.
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        points = np.asarray(points_half, dtype=np.int64).reshape(-1, 3)
+        if slots.size == 0 or points.shape[0] == 0:
+            return
+        ids, species = self.locate(points)
+        ids = np.asarray(ids).reshape(-1)
+        vet_ids = self.cache.vet_ids_of(slots)
+        # Every (slot, VET position) holding a changed site.  A site id can
+        # legitimately appear at several positions of one slot (periodic
+        # wrap in tiny boxes) — each occurrence is patched, exactly as a
+        # re-gather of occupancy[vet_ids] would refresh each of them.
+        s_idx, pos, m_idx = np.nonzero(
+            vet_ids[:, :, None] == ids[None, None, :]
+        )
+        if s_idx.size == 0:
+            return
+        if ids.size > 2 or (ids.size == 2 and ids[0] == ids[1]):
+            # Duplicate ids in one call (ghost double-writes) match the same
+            # (slot, position) twice with equal final species; keep one.
+            # The hop case (two distinct sites) skips this outright.
+            key = s_idx * vet_ids.shape[1] + pos
+            _, keep = np.unique(key, return_index=True)
+            s_idx, pos, m_idx = s_idx[keep], pos[keep], m_idx[keep]
+        patch_slots = slots[s_idx]
+        new = np.asarray(species).reshape(-1)[m_idx]
+        old = self.cache.patch_vets(patch_slots, pos, new)
+        changed = np.flatnonzero(old != new)
+        if changed.size:
+            self.cache.or_dirty_rows(
+                patch_slots[changed],
+                self.evaluator.dirty_rows_of_position[pos[changed]],
+            )
+
+    # ------------------------------------------------------------------
+    # Refresh: re-rate dirty rows, full-build the rest, one potential call
+    # ------------------------------------------------------------------
+    def build_entries(
+        self, keys: Sequence[Hashable], slots: np.ndarray
+    ) -> BatchEntries:
+        """Delta-aware batch build for the kernel's refresh.
+
+        Returns a :class:`BatchEntries` carrying ``row_energies``, so the
+        store marks every rebuilt slot delta-ready for the next round.
+        """
+        cache = self.cache
+        evaluator = self.evaluator
+        tet = evaluator.tet
+        slots = np.asarray(slots, dtype=np.int64)
+        n_batch = int(slots.size)
+        n_region = tet.n_region
+        n_states = 1 + tet.N_DIRECTIONS
+        ready = cache.delta_ready[slots]
+        ready_local = np.flatnonzero(ready)
+        full_local = np.flatnonzero(~ready)
+
+        if ready_local.size == 0:
+            # Cold start / post-drop: every slot is a from-scratch build and
+            # the slot arrays may not exist yet, so the gather IS the batch.
+            vet_ids, vets = self.gather(keys)
+            vet_ids = np.asarray(vet_ids)
+            vets = np.asarray(vets)
+            vets_current = False
+        else:
+            # Mixed batch: adopt the from-scratch gathers into the slot
+            # arrays, then read the whole batch back as one fancy gather —
+            # the snapshot slots' rows are already current (patched in
+            # place at invalidation time), so nothing is copied out only to
+            # be written back by the store.
+            if full_local.size:
+                f_vet_ids, f_vets = self.gather([keys[i] for i in full_local])
+                cache.adopt_vets(slots[full_local], f_vet_ids, f_vets)
+            vet_ids = cache.vet_ids_of(slots)
+            vets = cache.vets_of(slots)
+            vets_current = True
+        if np.any(vets[:, tet.CENTER] != evaluator.vacancy_code):
+            raise ValueError("every VET centre must be a vacancy")
+
+        # Row worklist: every row of a from-scratch slot, only the dirty
+        # rows of a snapshot slot.
+        pair_b = np.repeat(full_local, n_region)
+        pair_r = np.tile(self._r_all, full_local.size)
+        if ready_local.size:
+            rslots = slots[ready_local]
+            r_row_e = cache.row_e_of(rslots)
+            rb, rr = np.nonzero(cache.dirty_rows_of(rslots))
+            pair_b = np.concatenate([pair_b, ready_local[rb]])
+            pair_r = np.concatenate([pair_r, rr])
+        rows = evaluator.evaluate_rows(vets, pair_b, pair_r)
+
+        if ready_local.size:
+            e_dtype = r_row_e.dtype
+        else:
+            e_dtype = rows.dtype if rows.size else np.float64
+        row_e = np.empty((n_batch, n_states, n_region), dtype=e_dtype)
+        if ready_local.size:
+            row_e[ready_local] = r_row_e
+        if pair_b.size:
+            row_e[pair_b, :, pair_r] = rows
+
+        energies = evaluator.batch_from_row_energies(vets, row_e)
+        rates = self.rate_model.rates_batch(energies)
+        return BatchEntries(
+            sites=np.asarray(self.sites_of(keys)),
+            vet_ids=vet_ids,
+            vets=vets,
+            energies=energies,
+            rates=rates,
+            row_energies=row_e,
+            vets_current=vets_current,
+        )

@@ -27,6 +27,7 @@ from ..constants import TEMPERATURE_RPV
 from ..lattice.occupancy import LatticeState
 from ..potentials.base import CountsPotential
 from .backend import get_backend
+from .delta import DeltaRebuilder
 from .kernel import EventKernel, NoMovesError
 from .profiling import PhaseProfiler
 from .propensity import PropensityStore
@@ -92,6 +93,16 @@ class SerialAKMCBase:
         accumulation order make each row's bits batch-independent.
         ``"full"`` evaluation only; the ``"delta"`` ablation always runs
         scalar.
+    rebuild_path:
+        ``"auto"`` (default) turns the cache-miss rebuild into an
+        incremental re-rate whenever the batched miss path is active (full
+        evaluation, row-invariant potential, cache on): each slot's VET and
+        per-row trial-state energies stay resident in the cache, hops
+        scatter-patch them, and the refresh re-evaluates only the rows
+        whose inputs changed.  ``"full"`` forces the from-scratch rebuild;
+        ``"delta"`` demands the incremental path and raises when the
+        prerequisites are missing.  Trajectories are bit-identical across
+        the modes (see :mod:`repro.core.delta`).
     backend:
         Array backend name/instance for the hot path (default: the
         ``REPRO_BACKEND`` environment variable, falling back to the NumPy
@@ -117,6 +128,7 @@ class SerialAKMCBase:
         batching: str = "auto",
         ea0=None,
         backend=None,
+        rebuild_path: str = "auto",
     ) -> None:
         if abs(lattice.a - tet.geometry.a) > 1e-12:
             raise ValueError("lattice constant mismatch between lattice and TET")
@@ -124,6 +136,11 @@ class SerialAKMCBase:
             raise ValueError(f"unknown evaluation mode {evaluation!r}")
         if batching not in ("auto", "batched", "scalar"):
             raise ValueError(f"unknown batching mode {batching!r}")
+        if rebuild_path not in EventKernel.REBUILD_PATHS:
+            raise ValueError(
+                f"unknown rebuild path {rebuild_path!r}; allowed modes: "
+                f"{EventKernel.REBUILD_PATHS}"
+            )
         if batching == "auto":
             batching = (
                 "batched" if getattr(potential, "batch_row_invariant", False)
@@ -131,6 +148,7 @@ class SerialAKMCBase:
             )
         self.evaluation = evaluation
         self.batching = batching
+        self.rebuild_path = rebuild_path
         self.lattice = lattice
         self.potential = potential
         self.tet = tet
@@ -147,6 +165,21 @@ class SerialAKMCBase:
         vac_sites = sorted(int(s) for s in lattice.vacancy_ids)
         if not vac_sites:
             raise ValueError("lattice contains no vacancies; nothing can evolve")
+        batched_miss = batching == "batched" and evaluation == "full"
+        # The incremental rebuild rides on the batched miss path: it needs
+        # the full BatchEntries payload in the cache, a row-invariant
+        # potential (cached rows must be batch-composition independent),
+        # and the cache itself.
+        delta_capable = (
+            batched_miss
+            and self.use_cache
+            and getattr(potential, "batch_row_invariant", False)
+        )
+        if rebuild_path == "delta" and not delta_capable:
+            raise ValueError(
+                "rebuild_path='delta' requires batched full evaluation, a "
+                "batch_row_invariant potential, and use_cache=True"
+            )
         self.kernel = EventKernel(
             self._build_for_site,
             self._half_of_site,
@@ -156,13 +189,22 @@ class SerialAKMCBase:
             periodic_half=2 * np.asarray(lattice.shape, dtype=np.int64),
             keys=vac_sites,
             use_cache=self.use_cache,
-            build_entries=(
-                self._build_for_sites
-                if batching == "batched" and evaluation == "full"
-                else None
-            ),
+            build_entries=self._build_for_sites if batched_miss else None,
             backend=self.xp,
         )
+        if delta_capable:
+            rebuilder = DeltaRebuilder(
+                self.kernel.cache,
+                self.evaluator,
+                self.rate_model,
+                sites_of=self._delta_sites_of,
+                gather=self._delta_gather,
+                locate=self._delta_locate,
+            )
+            self.kernel.build_entries_delta = rebuilder.build_entries
+            self.kernel.patch_entries = rebuilder.patch_entries
+        if rebuild_path != "auto":
+            self.kernel.set_rebuild_path(rebuild_path)
         self.time = 0.0
         self.step_count = 0
         self.events: List[KMCEvent] = []
@@ -225,6 +267,51 @@ class SerialAKMCBase:
             sites=ids, vet_ids=vet_ids, vets=vets, energies=energies,
             rates=rates,
         )
+
+    # ------------------------------------------------------------------
+    # Delta-rebuild plumbing (see repro.core.delta): flat lattice ids are
+    # both the slot keys and the VET id space.
+    # ------------------------------------------------------------------
+    def _delta_sites_of(self, keys) -> np.ndarray:
+        return np.asarray([int(s) for s in keys], dtype=np.int64)
+
+    def _delta_gather(self, keys):
+        """From-scratch ``(vet_ids, vets)`` gather for a subset of keys.
+
+        Keys are lattice sites and the VET offsets are BCC translations, so
+        every generated coordinate is a valid site by construction and the
+        parity check is skipped.  The usual batch is a single key (the
+        event's mover), so the centre decomposition runs in Python scalars
+        and only the per-window work is vectorised — the same modular
+        arithmetic as
+        :meth:`~repro.lattice.occupancy.LatticeState.ids_from_half`,
+        producing identical ids.
+        """
+        lat = self.lattice
+        nx, ny, nz = lat.shape
+        offsets = self.tet.all_offsets
+        vet_ids = np.empty((len(keys), offsets.shape[0]), dtype=np.int64)
+        for n, key in enumerate(keys):
+            sid = int(key)
+            k = sid % nz
+            j = (sid // nz) % ny
+            i = (sid // (nz * ny)) % nx
+            s = sid // (nz * ny * nx)
+            vet_half = offsets + np.array(
+                (2 * i + s, 2 * j + s, 2 * k + s), dtype=np.int64
+            )
+            ss = vet_half[:, 0] & 1
+            cells = (vet_half - ss[:, None]) >> 1
+            cells %= lat._dims
+            vet_ids[n] = (
+                (ss * nx + cells[:, 0]) * ny + cells[:, 1]
+            ) * nz + cells[:, 2]
+        return vet_ids, self.lattice.occupancy[vet_ids]
+
+    def _delta_locate(self, points_half: np.ndarray):
+        """Current ``(ids, species)`` at changed half-positions."""
+        ids = self.lattice.ids_from_half(points_half, checked=False)
+        return ids, self.lattice.occupancy[ids]
 
     def build_system(self, slot: int) -> CachedVacancySystem:
         """Build the vacancy system of a slot from the current lattice."""

@@ -267,6 +267,28 @@ class EventKernel:
         for the historical per-slot loops + spatial-hash narrowing.  The two
         are trajectory-equivalent; legacy exists for the old-vs-new
         benchmark and the equivalence tests.
+    build_entries_delta:
+        Optional ``(keys, slots) -> BatchEntries`` callback for the
+        incremental rebuild path: it may consult the cache's delta-ready
+        snapshots (patched VETs + per-row energies) and re-rate only the
+        rows that changed, falling back to a from-scratch build per slot
+        where no snapshot exists.  Required (together with
+        ``patch_entries``) for ``rebuild_path="delta"``.
+    patch_entries:
+        Optional ``(slots, points_half) -> None`` callback invoked by the
+        distance invalidation when ``rebuild_path`` resolves to delta: it
+        scatter-updates the stored VET snapshots of the hit slots from the
+        driver's current occupancy at the changed positions.  This is how
+        invalidation carries *what* changed instead of just *that*
+        something changed.
+    rebuild_path:
+        ``"auto"`` (default) uses the incremental path whenever the delta
+        callbacks are configured and the vectorized hot path + cache are
+        active; ``"full"`` forces the bit-exact from-scratch rebuild;
+        ``"delta"`` demands the incremental path and raises when its
+        prerequisites are missing.  Both paths produce bit-identical
+        trajectories (the delta path re-rates from exactly re-derivable
+        inputs); ``"full"`` remains as the reference and fallback.
     backend:
         Array backend name/instance (see :mod:`repro.core.backend`) used for
         the broadcast invalidation query and the propensity store's slot
@@ -290,9 +312,18 @@ class EventKernel:
         ] = None,
         hot_path: str = "vectorized",
         backend=None,
+        build_entries_delta: Optional[
+            Callable[[Sequence[Hashable], np.ndarray], object]
+        ] = None,
+        patch_entries: Optional[
+            Callable[[np.ndarray, np.ndarray], None]
+        ] = None,
+        rebuild_path: str = "auto",
     ) -> None:
         self.build_entry = build_entry
         self.build_entries = build_entries
+        self.build_entries_delta = build_entries_delta
+        self.patch_entries = patch_entries
         self.position_of = position_of
         self.threshold = float(threshold)
         self.scale = float(scale)
@@ -316,6 +347,9 @@ class EventKernel:
         self._hot_path = "vectorized"
         if hot_path != "vectorized":
             self.set_hot_path(hot_path)
+        self._rebuild_path = "auto"
+        if rebuild_path != "auto":
+            self.set_rebuild_path(rebuild_path)
 
     # ------------------------------------------------------------------
     # Hot-path selection + coordinate plumbing
@@ -346,7 +380,16 @@ class EventKernel:
             raise ValueError(
                 f"unknown hot path {mode!r}; allowed modes: {self.HOT_PATHS}"
             )
+        if mode == "legacy" and getattr(self, "_rebuild_path", "auto") == "delta":
+            raise ValueError(
+                "rebuild_path='delta' requires the vectorized hot path; "
+                "switch rebuild_path to 'auto'/'full' first"
+            )
         self._hot_path = mode
+        # Any hot-path switch drops the delta snapshots: the legacy path
+        # neither patches nor consults them, so re-entering the vectorized
+        # path must start from a clean full rebuild.
+        self.cache.drop_delta_snapshots()
         if mode == "legacy":
             periodic = None if self.periodic is None else self.periodic
             self.index = SpatialHashIndex(self._reach, periodic)
@@ -354,6 +397,65 @@ class EventKernel:
                 self.index.insert(slot, self.cache.centres[slot])
         else:
             self.index = None
+
+    # ------------------------------------------------------------------
+    # Rebuild-path selection (full re-encode vs incremental re-rate)
+    # ------------------------------------------------------------------
+    #: Allowed rebuild-path modes.
+    REBUILD_PATHS = ("auto", "full", "delta")
+
+    @property
+    def rebuild_path(self) -> str:
+        """Requested rebuild mode; assignment validates and switches."""
+        return self._rebuild_path
+
+    @rebuild_path.setter
+    def rebuild_path(self, mode: str) -> None:
+        self.set_rebuild_path(mode)
+
+    def set_rebuild_path(self, mode: str) -> None:
+        """Switch between the full and incremental (delta) rebuild paths.
+
+        ``"auto"`` resolves to delta whenever the prerequisites hold (see
+        :meth:`delta_active`); ``"delta"`` raises if they do not.  Any
+        switch drops the cache's delta snapshots so the next refresh
+        rebuilds from scratch — the two paths then stay bit-identical from
+        any switch point.
+        """
+        if mode not in self.REBUILD_PATHS:
+            raise ValueError(
+                f"unknown rebuild path {mode!r}; allowed modes: "
+                f"{self.REBUILD_PATHS}"
+            )
+        if mode == "delta":
+            if self.build_entries_delta is None or self.patch_entries is None:
+                raise ValueError(
+                    "rebuild_path='delta' needs build_entries_delta and "
+                    "patch_entries callbacks"
+                )
+            if self._hot_path != "vectorized":
+                raise ValueError(
+                    "rebuild_path='delta' requires the vectorized hot path"
+                )
+            if not self.use_cache:
+                raise ValueError(
+                    "rebuild_path='delta' requires use_cache=True"
+                )
+        self._rebuild_path = mode
+        self.cache.drop_delta_snapshots()
+
+    def delta_active(self) -> bool:
+        """Whether the next refresh/invalidation uses the delta path."""
+        if self._rebuild_path == "full":
+            return False
+        if self._rebuild_path == "delta":
+            return True
+        return (
+            self.build_entries_delta is not None
+            and self.patch_entries is not None
+            and self._hot_path == "vectorized"
+            and self.use_cache
+        )
 
     def _canonical(self, half: np.ndarray) -> np.ndarray:
         half = np.asarray(half, dtype=np.int64)
@@ -526,8 +628,11 @@ class EventKernel:
 
     def _built_entries(self, stale: np.ndarray):
         """Run the batched build callback over the stale keys, with counters."""
-        keys = [self.cache.key_of(int(slot)) for slot in stale]
-        entries = self.build_entries(keys)
+        keys = self.cache.keys_of(stale)
+        if self.delta_active():
+            entries = self.build_entries_delta(keys, stale)
+        else:
+            entries = self.build_entries(keys)
         n = len(entries)
         if n != stale.size:
             raise RuntimeError(
@@ -541,7 +646,9 @@ class EventKernel:
     def _refresh_slots(self, stale: np.ndarray) -> None:
         """SoA rebuild: batch store + one vectorised propensity sweep."""
         cache = self.cache
-        if self.build_entries is not None:
+        if self.build_entries is not None or (
+            self.delta_active() and self.build_entries_delta is not None
+        ):
             entries = self._built_entries(stale)
             if isinstance(entries, BatchEntries):
                 cache.store_batch(stale, entries)
@@ -617,6 +724,15 @@ class EventKernel:
         the identical exact test ``|scale * delta| <= threshold + 1e-9`` in
         the same floating-point operation order, so the stale sets agree
         bitwise.  Returns the number of entries invalidated.
+
+        When the delta rebuild path is active the same broadcast query also
+        covers stale-but-delta-ready slots, and every hit slot with a
+        snapshot is handed to ``patch_entries`` together with the changed
+        positions — invalidation then carries *what* changed, which is what
+        keeps the snapshots in sync with the lattice between refreshes.
+        The fresh->stale transitions and invalidation counters are computed
+        exactly as in full mode (the extra snapshot slots never enter the
+        stats), so trajectories and counters agree across modes.
         """
         points = np.asarray(points_half, dtype=np.int64).reshape(-1, 3)
         if points.shape[0] == 0:
@@ -624,7 +740,13 @@ class EventKernel:
         if self.hot_path == "legacy":
             return self._invalidate_near_legacy(points)
         cache = self.cache
-        held = np.flatnonzero(cache.live & cache.fresh)
+        delta_on = self.delta_active()
+        if delta_on:
+            held = np.flatnonzero(
+                cache.live & (cache.fresh | cache.delta_ready)
+            )
+        else:
+            held = np.flatnonzero(cache.live & cache.fresh)
         if held.size == 0:
             return 0
         # The broadcast distance query runs through the array backend; the
@@ -641,9 +763,21 @@ class EventKernel:
         dist = xp.sqrt(xp.sum(delta * delta, axis=-1))
         hit = xp.to_numpy(xp.any(dist <= self.threshold + 1e-9, axis=0))
         hits = held[hit]
-        cache.fresh[hits] = False
-        cache.stats.invalidations += int(hits.size)
-        return int(hits.size)
+        if delta_on:
+            fresh_hits = hits[cache.fresh[hits]]
+            patch_slots = hits[cache.delta_ready[hits]]
+            if patch_slots.size:
+                # Patch before anything reads the snapshots again; the
+                # window sites of every affected slot lie inside the
+                # invalidation ball (the threshold is the max VET offset
+                # reach), so the distance hits are a superset of the slots
+                # whose VETs can contain the changed sites.
+                self.patch_entries(patch_slots, points)
+        else:
+            fresh_hits = hits
+        cache.fresh[fresh_hits] = False
+        cache.stats.invalidations += int(fresh_hits.size)
+        return int(fresh_hits.size)
 
     def _invalidate_near_legacy(self, points: np.ndarray) -> int:
         count = 0
@@ -698,4 +832,5 @@ class EventKernel:
             if self.stats.rate_batches
             else 0.0
         )
+        out["rebuild_path"] = "delta" if self.delta_active() else "full"
         return out

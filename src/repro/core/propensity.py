@@ -250,9 +250,43 @@ class FenwickPropensity(PropensityStore):
         # bitwise identical to a sequence of scalar updates.
         if s.size * 8 >= self._cap:
             self._rebuild()
+        elif self._cap <= 4096:
+            self._refresh_ancestors_batch(np.unique(s))
         else:
             for slot in np.unique(s):  # ascending: children refresh first
                 self._refresh_ancestors(int(slot))
+
+    def _refresh_ancestors_batch(self, slots: np.ndarray) -> None:
+        """Host-side ancestor refresh for a small ascending slot batch.
+
+        Node-for-node the same arithmetic as :meth:`_refresh_ancestors` —
+        each ancestor recomputed child-by-child in ascending-lowbit order
+        with IEEE-double additions — but run on Python floats, so the
+        O(log^2 n) inner loops cost interpreter time instead of a per
+        element array dispatch.  Shared ancestors of later slots read the
+        refreshed host copy, exactly as the scalar path re-reads
+        ``self.tree``, and the touched nodes go back in one scatter.
+        Same additions, same order, same bits.
+        """
+        tl = self.xp.to_numpy(self.tree).tolist()
+        vl = self.xp.to_numpy(self.values).tolist()
+        n = self.n
+        touched: dict = {}
+        for slot in slots.tolist():
+            i = slot + 1
+            while i <= self._cap:
+                total = vl[i - 1] if i - 1 < n else 0.0
+                k = 1
+                low = i & (-i)
+                while k < low:
+                    total += tl[i - k]
+                    k <<= 1
+                tl[i] = total
+                touched[i] = total
+                i += low
+        idx = np.fromiter(touched.keys(), dtype=np.int64, count=len(touched))
+        vals = np.fromiter(touched.values(), dtype=np.float64, count=len(touched))
+        self.tree[self.xp.from_numpy(idx)] = self.xp.from_numpy(vals)
 
     def _rebuild(self) -> None:
         """Recompute the whole tree from ``values`` in one vectorized sweep.

@@ -104,6 +104,16 @@ class BatchEntries:
     energies: StateEnergiesBatch
     #: ``(B, 8)`` per-direction rates in 1/s.
     rates: np.ndarray
+    #: Optional ``(B, 9, n_region)`` per-row trial-state energies.  When
+    #: present, :meth:`VacancyCache.store_batch` keeps them resident and
+    #: marks the slots delta-ready, enabling the incremental rebuild path
+    #: (only rows whose inputs changed are re-evaluated on the next miss).
+    row_energies: Optional[np.ndarray] = None
+    #: True when ``vet_ids``/``vets`` are fancy reads of the cache's own
+    #: slot arrays (the delta build adopts fresh gathers up front via
+    #: :meth:`VacancyCache.adopt_vets`); :meth:`VacancyCache.store_batch`
+    #: then skips the redundant write-back.
+    vets_current: bool = False
 
     def __len__(self) -> int:
         return int(self.rates.shape[0])
@@ -188,6 +198,11 @@ class VacancyCache:
         self.rates = np.zeros((self._cap, 8), dtype=np.float64)
         self.total_rates = np.zeros(self._cap, dtype=np.float64)
         self._is_full = np.zeros(self._cap, dtype=bool)
+        #: Slot holds a consistent VET + per-row energy snapshot that the
+        #: delta rebuild path may patch and re-rate instead of rebuilding.
+        #: Stale-but-delta-ready is a valid state: the snapshot tracks the
+        #: lattice through scatter patches while ``fresh`` is down.
+        self.delta_ready = np.zeros(self._cap, dtype=bool)
         # Full-payload arrays (lazily allocated on the first full store).
         self._vet_ids: Optional[np.ndarray] = None
         self._vets: Optional[np.ndarray] = None
@@ -195,9 +210,19 @@ class VacancyCache:
         self._e_delta: Optional[np.ndarray] = None
         self._e_valid: Optional[np.ndarray] = None
         self._e_mig: Optional[np.ndarray] = None
+        # Delta-path arrays (lazily allocated on the first store that
+        # carries ``row_energies``).
+        self._row_e: Optional[np.ndarray] = None
+        self._dirty_rows: Optional[np.ndarray] = None
 
     def _grow(self, min_capacity: int) -> None:
-        """Double the physical capacity, preserving every slot's state."""
+        """Double the physical capacity, preserving every slot's state.
+
+        Delta snapshots are deliberately *not* carried across a grow: the
+        reallocation is rare (amortised doubling) and dropping
+        ``delta_ready`` forces a clean full rebuild of every slot's
+        snapshot, which is the documented "capacity grow" full-fallback.
+        """
         new_cap = max(1, self._cap)
         while new_cap < min_capacity:
             new_cap *= 2
@@ -238,6 +263,17 @@ class VacancyCache:
         self._e_delta = np.zeros((self._cap, n_dir), dtype=np.float64)
         self._e_valid = np.zeros((self._cap, n_dir), dtype=bool)
         self._e_mig = np.zeros((self._cap, n_dir), dtype=mig.dtype)
+
+    def _ensure_delta(self, row_energies: np.ndarray) -> None:
+        """Allocate the delta-path arrays from the first snapshot's shape."""
+        if self._row_e is not None:
+            return
+        n_states = int(row_energies.shape[1])
+        n_region = int(row_energies.shape[2])
+        self._row_e = np.zeros(
+            (self._cap, n_states, n_region), dtype=row_energies.dtype
+        )
+        self._dirty_rows = np.zeros((self._cap, n_region), dtype=bool)
 
     # ------------------------------------------------------------------
     # Registry
@@ -316,6 +352,16 @@ class VacancyCache:
     #: Alias for the keyed reading of :meth:`slot_site`.
     key_of = slot_site
 
+    def keys_of(self, slots: np.ndarray) -> List[Hashable]:
+        """Keys of a batch of slots in one registry sweep.
+
+        The batched counterpart of :meth:`key_of` — refresh paths gathering
+        the keys of every stale slot use this instead of a per-slot Python
+        loop over ``key_of``.
+        """
+        keys = self._keys
+        return [keys[s] for s in np.asarray(slots, dtype=np.int64).tolist()]
+
     def slot_of(self, key: Hashable) -> Optional[int]:
         """Slot holding ``key``, or ``None``."""
         return self._slot_of.get(_canonical_key(key))
@@ -336,6 +382,7 @@ class VacancyCache:
         self._slot_of[key] = slot
         self.live[slot] = True
         self.fresh[slot] = False
+        self.delta_ready[slot] = False
         return slot
 
     def remove_slot(self, slot: int) -> None:
@@ -347,6 +394,7 @@ class VacancyCache:
         self._keys[slot] = None
         self.live[slot] = False
         self.fresh[slot] = False
+        self.delta_ready[slot] = False
         self._free.append(slot)
 
     def move(self, slot: int, new_key: Hashable) -> None:
@@ -359,6 +407,9 @@ class VacancyCache:
         self._slot_of[new_key] = slot
         self.live[slot] = True
         self.fresh[slot] = False
+        # The hopped vacancy's window shifted: its VET snapshot no longer
+        # describes the sites around the new centre, so force a full build.
+        self.delta_ready[slot] = False
 
     # ------------------------------------------------------------------
     # Entries
@@ -418,6 +469,9 @@ class VacancyCache:
             self._is_full[slot] = True
         else:
             self._is_full[slot] = False
+        # The scalar store carries no per-row energies; any prior snapshot
+        # for the slot no longer matches the freshly stored entry.
+        self.delta_ready[slot] = False
         self.fresh[slot] = True
         self.stats.rebuilds += 1
 
@@ -445,13 +499,21 @@ class VacancyCache:
             np.asarray(batch.vets),
             np.asarray(batch.energies.migrating_species),
         )
-        self._vet_ids[slots] = batch.vet_ids
-        self._vets[slots] = batch.vets
+        if not batch.vets_current:
+            self._vet_ids[slots] = batch.vet_ids
+            self._vets[slots] = batch.vets
         self._e_initial[slots] = batch.energies.initial
         self._e_delta[slots] = batch.energies.delta
         self._e_valid[slots] = batch.energies.valid
         self._e_mig[slots] = batch.energies.migrating_species
         self._is_full[slots] = True
+        if batch.row_energies is not None:
+            self._ensure_delta(np.asarray(batch.row_energies))
+            self._row_e[slots] = batch.row_energies
+            self._dirty_rows[slots] = False
+            self.delta_ready[slots] = True
+        else:
+            self.delta_ready[slots] = False
         self.fresh[slots] = True
         self.stats.rebuilds += int(slots.size)
 
@@ -469,6 +531,7 @@ class VacancyCache:
         self.rates[slots] = rows
         self.total_rates[slots] = rows.sum(axis=1)
         self._is_full[slots] = False
+        self.delta_ready[slots] = False
         self.fresh[slots] = True
         self.stats.rebuilds += int(slots.size)
 
@@ -487,25 +550,43 @@ class VacancyCache:
         return self.live & ~self.fresh
 
     def invalidate_slot(self, slot: int) -> None:
-        """Drop one live entry (counted in the invalidation stats)."""
+        """Drop one live entry (counted in the invalidation stats).
+
+        Direct invalidation carries no changed-site payload, so the delta
+        snapshot cannot be kept in sync — it is dropped along with the
+        entry (the kernel's distance invalidation, which *does* know what
+        changed, clears ``fresh`` directly and keeps ``delta_ready`` up).
+        """
+        self.delta_ready[slot] = False
         if self.live[slot] and self.fresh[slot]:
             self.fresh[slot] = False
             self.stats.invalidations += 1
 
     def invalidate_slots(self, slots: np.ndarray) -> int:
-        """Drop a batch of entries; returns how many were actually live."""
+        """Drop a batch of entries; returns how many were actually live.
+
+        Like :meth:`invalidate_slot`, payload-free invalidation also drops
+        the slots' delta snapshots.
+        """
         slots = np.asarray(slots, dtype=np.int64)
         if slots.size == 0:
             return 0
+        self.delta_ready[slots] = False
         hit = slots[self.live[slots] & self.fresh[slots]]
         self.fresh[hit] = False
         self.stats.invalidations += int(hit.size)
         return int(hit.size)
 
     def invalidate_all(self) -> None:
-        """Drop every entry (cache-off mode / global resync)."""
+        """Drop every entry (cache-off mode / global resync).
+
+        The global hammer guards against out-of-band occupancy mutation,
+        so every delta snapshot is dropped too — the next refresh is a
+        full rebuild for every slot.
+        """
         n_fresh = int(np.count_nonzero(self.live & self.fresh))
         self.fresh[:] = False
+        self.delta_ready[:] = False
         self.stats.invalidations += n_fresh
 
     def invalidate_near(
@@ -538,6 +619,71 @@ class VacancyCache:
                     self.stats.invalidations += 1
                     break
 
+    # ------------------------------------------------------------------
+    # Delta snapshots (incremental rebuild path)
+    # ------------------------------------------------------------------
+    def drop_delta_snapshots(self) -> None:
+        """Forget every delta snapshot without touching freshness.
+
+        Mode switches (hot path / rebuild path) call this so the first
+        refresh after the switch rebuilds from scratch.
+        """
+        self.delta_ready[:] = False
+
+    def patch_vets(
+        self, slots: np.ndarray, positions: np.ndarray, codes: np.ndarray
+    ) -> np.ndarray:
+        """Scatter species codes into stored VETs; returns the old codes.
+
+        ``(slots, positions)`` pairs must be unique within one call —
+        duplicate pairs would make "old code" ill-defined.  Callers dedup
+        before patching (ghost exchanges can report the same site twice).
+        """
+        slots = np.asarray(slots, dtype=np.int64)
+        old = self._vets[slots, positions].copy()
+        self._vets[slots, positions] = codes
+        return old
+
+    def or_dirty_rows(self, slots: np.ndarray, masks: np.ndarray) -> None:
+        """Accumulate ``(k, n_region)`` dirty-row masks into the slots.
+
+        Duplicate slots accumulate (``logical_or.at``): one patch call may
+        dirty several positions of the same slot.
+        """
+        np.logical_or.at(
+            self._dirty_rows, np.asarray(slots, dtype=np.int64), masks
+        )
+
+    def adopt_vets(
+        self, slots: np.ndarray, vet_ids: np.ndarray, vets: np.ndarray
+    ) -> None:
+        """Write freshly gathered VET ids/codes straight into the slot arrays.
+
+        The delta build calls this for its from-scratch subset *before*
+        evaluating, so the whole batch can then be read back as one fancy
+        gather and :meth:`store_batch` (``vets_current=True``) skips the
+        write-back.  The slot arrays must already exist — the delta build
+        only takes this path once at least one snapshot has been stored.
+        """
+        self._vet_ids[slots] = vet_ids
+        self._vets[slots] = vets
+
+    def vet_ids_of(self, slots: np.ndarray) -> np.ndarray:
+        """Stored VET site ids for a batch of slots (fancy-read copy)."""
+        return self._vet_ids[np.asarray(slots, dtype=np.int64)]
+
+    def vets_of(self, slots: np.ndarray) -> np.ndarray:
+        """Stored VET species codes for a batch of slots (fancy-read copy)."""
+        return self._vets[slots]
+
+    def row_e_of(self, slots: np.ndarray) -> np.ndarray:
+        """Stored per-row trial-state energies (fancy-read copy)."""
+        return self._row_e[slots]
+
+    def dirty_rows_of(self, slots: np.ndarray) -> np.ndarray:
+        """Pending dirty-row masks for a batch of slots (fancy-read copy)."""
+        return self._dirty_rows[slots]
+
     def memory_bytes(self) -> int:
         """Bytes held by live cache entries (the Table 1 'VAC Cache' row).
 
@@ -563,6 +709,14 @@ class VacancyCache:
                 + 8  # initial float
             )
             total += n_full * per_full
+        if self._row_e is not None:
+            n_delta = int(np.count_nonzero(self.live & self.delta_ready))
+            per_delta = (
+                self._row_e.shape[1] * self._row_e.shape[2]
+                * self._row_e.itemsize
+                + self._dirty_rows.shape[1] * self._dirty_rows.itemsize
+            )
+            total += n_delta * per_delta
         return total
 
     def summary(self) -> Dict[str, float]:

@@ -127,6 +127,74 @@ class VacancySystemEvaluator:
             rows, cols = np.nonzero(tet.net_ids == t)
             shell_of[t, rows] = tet.cet_shell[cols]
         self._shell_of_target = shell_of
+        # Count-patch lookup table for the row-level re-rate kernel.  The
+        # swap patch of row r in state j — centre (species ``vac``) and 1NN
+        # target (species ``mig``) trading places — depends only on the tiny
+        # tuple (shell of the centre in r's list, shell of the target,
+        # vac, mig), so every combination is tabulated once:
+        # ``patch[s, e] = ((sh0 == s) - (shj == s)) * ((mig == e) - (vac == e))``
+        # with shell -1 (outside the row's range) and the vacancy code
+        # contributing nothing.  Entries are exact small integers in
+        # float32, so adding a patch row to the state-0 counts reproduces
+        # the full encode's counts bit for bit.  One extra all-zero block
+        # (index ``n_sh * n_sh``) backs the state-0 column of the fused
+        # per-row gather.
+        n_sh = tet.n_shells + 1          # shell index + 1, -1 -> 0
+        n_sp = self.n_elements + 1       # species codes incl. the vacancy
+        table = np.zeros(
+            ((n_sh * n_sh + 1) * n_sp * n_sp,
+             tet.n_shells * self.n_elements),
+            dtype=np.float32,
+        )
+        for a in range(n_sh):            # sh0 + 1
+            for b in range(n_sh):        # shj + 1
+                for v in range(n_sp):    # vac species code
+                    for m in range(n_sp):  # mig species code
+                        row = ((a * n_sh + b) * n_sp + v) * n_sp + m
+                        for s in range(tet.n_shells):
+                            for el in range(self.n_elements):
+                                table[row, s * self.n_elements + el] = (
+                                    (a - 1 == s) - (b - 1 == s)
+                                ) * ((m == el) - (v == el))
+        self._patch_table = table
+        code = np.empty((tet.n_region, self._n_states), dtype=np.int64)
+        code[:, 0] = n_sh * n_sh * n_sp * n_sp
+        code[:, 1:] = (
+            (shell_of[0][:, None].astype(np.int64) + 1) * n_sh
+            + (shell_of[1:].T.astype(np.int64) + 1)
+        ) * (n_sp * n_sp)
+        self._patch_code = np.ascontiguousarray(code)
+        self._patch_species = n_sp
+        # Cached pieces of the counts_from_types kernel, so the per-row path
+        # skips the per-call one-hot rebuild (the values are identical, so
+        # the matmul inputs — and therefore the counts — are bit-identical).
+        shell_onehot = np.zeros(
+            (tet.net_ids.shape[1], tet.n_shells), dtype=np.float32
+        )
+        shell_onehot[
+            np.arange(tet.net_ids.shape[1]),
+            np.asarray(tet.cet_shell, dtype=np.int64),
+        ] = 1.0
+        self._shell_onehot = self.xp.from_numpy(shell_onehot)
+        self._state_cols = np.arange(self._n_states, dtype=np.intp)
+        # Reverse NET over *all* VET positions: base[p, r] is True when a
+        # species change at VET position p touches region row r in the
+        # current state — p sits in r's neighbour list, or p *is* r.
+        base = np.zeros((tet.n_all, tet.n_region), dtype=bool)
+        base[
+            np.asarray(tet.net_ids).ravel(),
+            np.repeat(np.arange(tet.n_region), tet.net_ids.shape[1]),
+        ] = True
+        base[np.arange(tet.n_region), np.arange(tet.n_region)] = True
+        # Folded over the 9 trial states: position p <= 8 also appears at
+        # position 0 (swap positions trade places), and a change at the
+        # centre itself shows up at every swap position.
+        dirty = base.copy()
+        dirty[1:self._n_states] |= base[0]
+        dirty[0] = base[: self._n_states].any(axis=0)
+        #: ``(n_all, n_region)`` — region rows whose stored trial-state
+        #: energies go stale when the site at VET position p changes.
+        self.dirty_rows_of_position = dirty
         self._affected = [
             np.flatnonzero((shell_of[0] >= 0) | (shell_of[1 + k] >= 0))
             for k in range(tet.N_DIRECTIONS)
@@ -264,16 +332,18 @@ class VacancySystemEvaluator:
         result lives on the evaluator's array backend (a plain ndarray under
         the default NumPy backend).
         """
-        vets = np.asarray(self.xp.to_numpy(vets))
-        if vets.ndim != 2 or vets.shape[1] != self.tet.n_all:
+        xp = self.xp
+        # Validate on the backend array itself: forcing the batch through
+        # to_numpy here used to bounce every torch batch through the host.
+        vx = xp.asarray(vets)
+        shape = tuple(vx.shape)
+        if len(shape) != 2 or shape[1] != self.tet.n_all:
             raise ValueError(
                 f"VET batch must have shape (B, {self.tet.n_all}), "
-                f"got {vets.shape}"
+                f"got {shape}"
             )
-        xp = self.xp
-        vx = xp.from_numpy(vets)
         states = xp.broadcast_copy(
-            vx[:, None, :], (vets.shape[0], self._n_states, vets.shape[1])
+            vx[:, None, :], (shape[0], self._n_states, shape[1])
         )
         targets = self._dir_targets_x
         states[:, self._dir_rows_x, 0] = vx[:, targets]
@@ -439,6 +509,119 @@ class VacancySystemEvaluator:
         self._charge_rate_eval(n_batch)
         totals = self.xp.to_numpy(
             self.xp.sum(energies, axis=2, dtype=self.xp.float64)
+        )
+        nn_species = vets[:, 1 : 1 + n_dir]
+        valid = nn_species != self.vacancy_code
+        delta = np.where(valid, totals[:, 1:] - totals[:, :1], 0.0)
+        return StateEnergiesBatch(
+            initial=totals[:, 0],
+            delta=delta,
+            valid=valid,
+            migrating_species=nn_species,
+        )
+
+    # ------------------------------------------------------------------
+    # Row-level re-rate: the incremental rebuild path's energy kernel
+    # ------------------------------------------------------------------
+    def evaluate_rows(
+        self, vets: np.ndarray, pair_b: np.ndarray, pair_r: np.ndarray
+    ) -> np.ndarray:
+        """Trial-state energies of selected ``(vacancy, region row)`` pairs.
+
+        For each pair ``(b, r)`` the 9 trial-state energies of region site
+        ``r`` of vacancy ``b`` are computed exactly as :meth:`evaluate_batch`
+        would: the state-0 shell counts of the row come from
+        :func:`counts_from_types` on the row's neighbour gather, the eight
+        swap states patch those counts with exact-integer scatter adds (the
+        centre and the direction's 1NN trade species), and the potential is
+        invoked once over the stacked ``P * 9`` rows.  For row-invariant
+        potentials (``batch_row_invariant``) every returned energy is
+        bit-identical to the corresponding element of the full batch — which
+        is what lets the delta rebuild path recompute *only* rows whose
+        inputs changed and splice them into a cached ``(B, 9, n_region)``
+        energy matrix.
+
+        Returns the ``(P, 9)`` energies as a NumPy array in the potential's
+        native energy dtype.  This path is not cost-ledger instrumented
+        (the Fig. 9 accounting models the full batched operator flow).
+        """
+        tet = self.tet
+        xp = self.xp
+        vets = np.asarray(vets)
+        pair_b = np.asarray(pair_b, dtype=np.intp)
+        pair_r = np.asarray(pair_r, dtype=np.intp)
+        n_pairs = int(pair_b.size)
+        n_states = self._n_states
+        n_el = self.n_elements
+        if n_pairs == 0:
+            return np.zeros((0, n_states))
+        # State-0 shell counts of every selected row — the same one-sgemm-
+        # per-element kernel as :func:`counts_from_types`, inlined against
+        # the cached shell one-hot (identical inputs, identical bits).
+        vp = vets[pair_b]
+        neighbors = vp[np.arange(n_pairs)[:, None], tet.net_ids[pair_r]]
+        nb = xp.asarray(neighbors)
+        counts0 = xp.empty(
+            (n_pairs, tet.n_shells, n_el), dtype=xp.float32
+        )
+        for el in range(n_el):
+            counts0[:, :, el] = xp.matmul(
+                xp.astype(nb == el, xp.float32), self._shell_onehot
+            )
+        counts0_np = xp.to_numpy(counts0)                         # (P, S, E)
+        # Swap patches: in state j the centre (VET position 0, species
+        # ``vac``) and the 1NN target (position j, species ``mig``) trade
+        # places.  The per-state count change is fetched from the
+        # precomputed ``_patch_table`` (see ``__init__``) in one fused
+        # ``(P, 9)`` row gather — the state-0 column indexes the table's
+        # all-zero block, so a single contiguous add over the whole
+        # ``(P, 9, S * E)`` tensor finishes the patched counts.
+        states = vp[:, :n_states].astype(np.int64)                # (P, 9)
+        vac = states[:, 0]                                        # (P,)
+        idx = self._patch_code[pair_r]
+        idx = idx + vac[:, None] * self._patch_species
+        idx += states
+        counts_np = self._patch_table[idx]                        # (P, 9, S*E)
+        counts_np += counts0_np.reshape(n_pairs, 1, -1)
+        # Centre species of each row per state: the row's own site, except
+        # that in state j the two swap positions trade species — a row *at*
+        # position j holds the vacancy, and the centre's own row (position
+        # 0) holds each direction's migrating species.
+        own = vets[pair_b, pair_r]
+        centers = np.where(
+            pair_r[:, None] == self._state_cols, vac[:, None], own[:, None]
+        )
+        centers = np.where((pair_r == 0)[:, None], states, centers)
+        center_types = xp.asarray(centers.reshape(-1))
+        flat_counts = xp.from_numpy(
+            counts_np.reshape(-1, tet.n_shells, n_el)
+        )
+        dedup = self._dedup_rows(center_types, flat_counts)
+        if dedup is not None:
+            first, inverse = dedup
+            energies = self._potential_energies(
+                center_types[first], flat_counts[first]
+            )[inverse]
+        else:
+            energies = self._potential_energies(center_types, flat_counts)
+        return xp.to_numpy(energies).reshape(n_pairs, n_states)
+
+    def batch_from_row_energies(
+        self, vets: np.ndarray, row_energies: np.ndarray
+    ) -> StateEnergiesBatch:
+        """Fold a ``(B, 9, n_region)`` energy matrix into hop energetics.
+
+        The exact tail of :meth:`evaluate_batch` — same backend reduction,
+        same validity masking — applied to an externally assembled energy
+        matrix (cached rows spliced with freshly re-rated ones).
+        """
+        vets = np.asarray(vets)
+        n_dir = self.tet.N_DIRECTIONS
+        totals = self.xp.to_numpy(
+            self.xp.sum(
+                self.xp.from_numpy(row_energies), axis=2,
+                dtype=self.xp.float64,
+            )
         )
         nn_species = vets[:, 1 : 1 + n_dir]
         valid = nn_species != self.vacancy_code

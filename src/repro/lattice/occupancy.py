@@ -98,13 +98,21 @@ class LatticeState:
         s, i, j, k = self.site_coords(ids)
         return np.stack([2 * i + s, 2 * j + s, 2 * k + s], axis=-1)
 
-    def ids_from_half(self, half: np.ndarray) -> np.ndarray:
-        """Flat site indices from half-unit coordinates with periodic wrap."""
+    def ids_from_half(self, half: np.ndarray, checked: bool = True) -> np.ndarray:
+        """Flat site indices from half-unit coordinates with periodic wrap.
+
+        ``checked=False`` skips the parity validation for callers whose
+        coordinates are valid BCC sites by construction (e.g. a lattice
+        site plus BCC offsets) — the hot re-rate path takes this branch.
+        """
         half = np.asarray(half, dtype=np.int64)
         s = half[..., 0] & 1
-        parity_ok = ((half[..., 1] & 1) == s) & ((half[..., 2] & 1) == s)
-        if not np.all(parity_ok):
-            raise ValueError("half coordinates with mixed parity are not BCC sites")
+        if checked:
+            parity_ok = ((half[..., 1] & 1) == s) & ((half[..., 2] & 1) == s)
+            if not np.all(parity_ok):
+                raise ValueError(
+                    "half coordinates with mixed parity are not BCC sites"
+                )
         cells = (half - s[..., None]) >> 1
         cells = np.mod(cells, self._dims)
         nx, ny, nz = self.shape

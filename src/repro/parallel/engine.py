@@ -31,6 +31,7 @@ import numpy as np
 
 from ..constants import T_STOP, TEMPERATURE_RPV
 from ..core.backend import get_backend
+from ..core.delta import DeltaRebuilder
 from ..core.kernel import EventKernel, NoMovesError
 from ..core.profiling import PHASES, PhaseProfiler
 from ..core.rates import RateModel, residence_time
@@ -89,6 +90,7 @@ class RankState:
         evaluator: VacancySystemEvaluator,
         rate_model: RateModel,
         rng: np.random.Generator,
+        rebuild_path: str = "auto",
     ) -> None:
         self.rank = rank
         self.window = window
@@ -123,6 +125,25 @@ class RankState:
             ),
             backend=evaluator.xp,
         )
+        # Incremental rebuild callbacks: the rank's coordinate space is the
+        # padded window, so VET snapshots are keyed by window-flat site ids
+        # (unique per padded position — periodic aliases of one global site
+        # are distinct window sites, exactly as the full path treats them:
+        # a hop patches the primary position, the post-cycle ghost exchange
+        # patches the aliases it writes).
+        if getattr(evaluator.potential, "batch_row_invariant", False):
+            rebuilder = DeltaRebuilder(
+                self.kernel.cache,
+                evaluator,
+                rate_model,
+                sites_of=self._delta_sites_of,
+                gather=self._delta_gather,
+                locate=self._delta_locate,
+            )
+            self.kernel.build_entries_delta = rebuilder.build_entries
+            self.kernel.patch_entries = rebuilder.patch_entries
+        if rebuild_path != "auto":
+            self.kernel.set_rebuild_path(rebuild_path)
         self.events = 0
         self.rejected = 0
         #: Hops blocked by inconsistent (stale) data — naive mode only.
@@ -173,6 +194,29 @@ class RankState:
         vets = self.window.species_at_half(vet_half)
         energies = self.evaluator.evaluate_batch(vets)
         return self.rate_model.rates_batch(energies)
+
+    # ------------------------------------------------------------------
+    # Delta-rebuild coordinate callbacks (window half-coords <-> flat ids)
+    # ------------------------------------------------------------------
+    def _window_flat_ids(self, half: np.ndarray) -> np.ndarray:
+        """Flat site ids over the padded window ``(2, px, py, pz)``."""
+        s, cell = self.window.site_from_half(np.asarray(half, dtype=np.int64))
+        px, py, pz = self.window.padded_shape
+        return ((s * px + cell[..., 0]) * py + cell[..., 1]) * pz + cell[..., 2]
+
+    def _delta_sites_of(self, keys) -> np.ndarray:
+        return self._window_flat_ids(np.asarray(keys, dtype=np.int64))
+
+    def _delta_gather(self, keys):
+        half = np.asarray(keys, dtype=np.int64)
+        vet_half = half[:, None, :] + self.tet.all_offsets[None, :, :]
+        return self._window_flat_ids(vet_half), self.window.species_at_half(
+            vet_half
+        )
+
+    def _delta_locate(self, points_half: np.ndarray):
+        points = np.asarray(points_half, dtype=np.int64).reshape(-1, 3)
+        return self._window_flat_ids(points), self.window.species_at_half(points)
 
     def invalidate_near(self, changed_half: np.ndarray) -> None:
         """Drop cached rates of vacancies near changed sites (Sec. 3.2)."""
@@ -336,6 +380,13 @@ class SublatticeKMC:
         ``REPRO_BACKEND`` env, then the NumPy golden reference).  All ranks
         share one evaluator and hence one backend; window occupancy, ghost
         exchange buffers and checkpoints stay NumPy-resident.
+    rebuild_path:
+        Miss-pipeline rebuild mode for every rank's kernel (``"auto"`` /
+        ``"full"`` / ``"delta"``, see
+        :meth:`~repro.core.kernel.EventKernel.set_rebuild_path`).  Under
+        ``"auto"`` the incremental path switches on whenever the potential
+        is ``batch_row_invariant``; all three modes produce bit-identical
+        trajectories.
     """
 
     def __init__(
@@ -352,9 +403,16 @@ class SublatticeKMC:
         ea0=None,
         fault_plan: Optional[FaultPlan] = None,
         backend=None,
+        rebuild_path: str = "auto",
     ) -> None:
         if sector_mode not in ("sublattice", "naive"):
             raise ValueError(f"unknown sector_mode {sector_mode!r}")
+        if rebuild_path not in EventKernel.REBUILD_PATHS:
+            raise ValueError(
+                f"unknown rebuild path {rebuild_path!r}; allowed modes: "
+                f"{EventKernel.REBUILD_PATHS}"
+            )
+        self.rebuild_path = rebuild_path
         self.sector_mode = sector_mode
         self.proximity_violations = 0
         self.global_shape = lattice.shape
@@ -392,6 +450,7 @@ class SublatticeKMC:
                     evaluator=evaluator,
                     rate_model=rate_model,
                     rng=np.random.default_rng(seed + r),
+                    rebuild_path=rebuild_path,
                 )
             )
         self.evaluator = evaluator
@@ -550,6 +609,11 @@ class SublatticeKMC:
         out["rejected"] = sum(r.rejected for r in self.ranks)
         out["cycles"] = len(self.cycles)
         out["time"] = self.time
+        out["rebuild_path"] = (
+            "delta"
+            if all(r.kernel.delta_active() for r in self.ranks)
+            else "full"
+        )
         phases = self._phase_totals()
         for name in PHASES:
             out[f"{name}_seconds"] = phases.get(name, 0.0)

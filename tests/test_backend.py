@@ -170,6 +170,34 @@ class TestNumpyBackendOps:
         np.testing.assert_array_equal(inverse, ref_inverse)
 
     @given(
+        n_idx=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_scatter_add_accumulates_duplicates(self, n_idx, seed):
+        # The contract: x[indices] += values with np.add.at semantics —
+        # repeated index tuples accumulate (sequentially, in order) instead
+        # of last-write-wins, and the array is updated in place.
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        rows = rng.integers(0, 4, size=n_idx)
+        cols = rng.integers(0, 5, size=n_idx)
+        vals = rng.standard_normal(n_idx).astype(np.float32)
+        ref = x.copy()
+        np.add.at(ref, (rows, cols), vals)
+        out = self.xp.scatter_add(x, (rows, cols), vals)
+        assert out is x
+        np.testing.assert_array_equal(x, ref)
+
+    def test_scatter_add_single_axis_and_scalar_values(self):
+        x = np.zeros(6, dtype=np.float64)
+        out = self.xp.scatter_add(
+            x, (np.array([2, 2, 5, 2]),), np.array([1.0, 2.0, 3.0, 4.0])
+        )
+        assert out is x
+        np.testing.assert_array_equal(x, [0.0, 0.0, 7.0, 0.0, 0.0, 3.0])
+
+    @given(
         n=st.integers(min_value=1, max_value=32),
         seed=st.integers(min_value=0, max_value=2**32 - 1),
     )
@@ -332,6 +360,23 @@ class TestTorchBackend:
         )
         np.testing.assert_array_equal(np.asarray(first), ref_first)
         np.testing.assert_array_equal(xp.to_numpy(inverse), ref_inverse)
+
+    def test_scatter_add_matches_numpy_on_integer_values(self):
+        # Duplicate accumulation order may differ across backends, so the
+        # parity check uses exact integer values where any order gives the
+        # same bits.
+        xp = self.xp()
+        rng = np.random.default_rng(11)
+        x = rng.integers(-5, 5, size=(3, 7)).astype(np.float32)
+        rows = rng.integers(0, 3, size=40)
+        cols = rng.integers(0, 7, size=40)
+        vals = rng.integers(-3, 4, size=40).astype(np.float32)
+        ref = x.copy()
+        np.add.at(ref, (rows, cols), vals)
+        t = xp.from_numpy(x)
+        out = xp.scatter_add(t, (rows, cols), vals)
+        assert out is t
+        np.testing.assert_array_equal(xp.to_numpy(t), ref)
 
     def test_counts_from_types_exact(self):
         # Integer counts in float32 are exact on every backend.

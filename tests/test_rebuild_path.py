@@ -1,0 +1,278 @@
+"""Incremental (delta) rebuild path: bit-exactness against the full rebuild.
+
+The delta path is only admissible because it changes *work*, not results:
+patched VET snapshots must stay bitwise-equal to a from-scratch
+``occupancy[vet_ids]`` gather after arbitrary hop sequences (periodic wrap
+included), re-rated dirty rows spliced into cached row energies must
+reproduce the full build's energy matrix bit for bit, and whole
+trajectories — serial and parallel — must be identical across
+``rebuild_path`` modes, including mid-run switches.  See DESIGN.md
+("The incremental rebuild path: the miss as a re-rate").
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import TensorKMCEngine
+from repro.core.kernel import EventKernel, SimpleRateEntry
+from repro.lattice.occupancy import LatticeState
+from repro.parallel.engine import SublatticeKMC
+
+
+def _alloy(shape, seed, vac=0.01):
+    lattice = LatticeState(shape)
+    lattice.randomize_alloy(
+        np.random.default_rng(seed), cu_fraction=0.05, vacancy_fraction=vac
+    )
+    return lattice
+
+
+def _serial_engine(tet, potential, mode, seed=11):
+    return TensorKMCEngine(
+        _alloy((6, 6, 6), seed),
+        potential,
+        tet,
+        rng=np.random.default_rng(seed + 1),
+        rebuild_path=mode,
+    )
+
+
+def _assert_snapshots_match_gather(cache, vets_of_slot, vet_ids_of_slot):
+    """Every live snapshot must equal a from-scratch re-gather, bit for bit."""
+    n = cache.n_slots
+    slots = np.flatnonzero(cache.live[:n] & cache.delta_ready[:n])
+    for slot in slots:
+        slot = int(slot)
+        assert np.array_equal(cache._vet_ids[slot], vet_ids_of_slot(slot))
+        assert np.array_equal(cache._vets[slot], vets_of_slot(slot))
+    return slots
+
+
+class TestSnapshotIntegrity:
+    """Fuzz: stored deltas equal from-scratch gathers after random hops."""
+
+    @given(
+        cfg=st.fixed_dictionaries(
+            {
+                "seed": st.integers(min_value=0, max_value=2**31),
+                "engine_seed": st.integers(min_value=0, max_value=2**31),
+                "n_steps": st.integers(min_value=0, max_value=40),
+            }
+        )
+    )
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_patched_snapshots_equal_from_scratch_gather(
+        self, tet_small, eam_small, cfg
+    ):
+        lattice = _alloy((6, 6, 6), cfg["seed"])
+        engine = TensorKMCEngine(
+            lattice,
+            eam_small,
+            tet_small,
+            rng=np.random.default_rng(cfg["engine_seed"]),
+            rebuild_path="delta",
+        )
+        engine.run(n_steps=cfg["n_steps"])
+        cache = engine.kernel.cache
+        # The (6,6,6) box is only 12 half-units wide, so VET windows wrap
+        # constantly — lattice.ids_from_half's periodic fold is on the line.
+        slots = _assert_snapshots_match_gather(
+            cache,
+            lambda s: lattice.occupancy[cache._vet_ids[s]],
+            lambda s: engine._delta_gather([engine.kernel.key_of(s)])[0][0],
+        )
+        if cfg["n_steps"] > 0:
+            assert slots.size > 0  # the delta path actually engaged
+        # Fresh snapshot slots were refreshed after their last patch: no
+        # pending dirty rows, and their cached row energies must equal a
+        # from-scratch re-rate of every row.
+        n = cache.n_slots
+        fresh = np.flatnonzero(
+            cache.live[:n] & cache.fresh[:n] & cache.delta_ready[:n]
+        )
+        if fresh.size:
+            assert not cache._dirty_rows[fresh].any()
+            n_region = tet_small.n_region
+            pair_b = np.repeat(np.arange(fresh.size), n_region)
+            pair_r = np.tile(np.arange(n_region, dtype=np.intp), fresh.size)
+            rows = engine.evaluator.evaluate_rows(
+                cache._vets[fresh], pair_b, pair_r
+            )
+            expect = np.empty_like(cache._row_e[fresh])
+            expect[pair_b, :, pair_r] = rows
+            assert np.array_equal(expect, cache._row_e[fresh])
+
+
+class TestTrajectoryIdentity:
+    def test_serial_bit_identical_across_modes(self, tet_small, eam_small):
+        engines = {
+            mode: _serial_engine(tet_small, eam_small, mode)
+            for mode in ("full", "auto", "delta")
+        }
+        for engine in engines.values():
+            engine.record_events = True
+            engine.run(n_steps=60)
+        ref = engines["full"]
+        assert not ref.kernel.delta_active()
+        assert engines["auto"].kernel.delta_active()
+        assert engines["delta"].kernel.delta_active()
+        for engine in engines.values():
+            assert engine.time == ref.time
+            assert np.array_equal(
+                engine.lattice.occupancy, ref.lattice.occupancy
+            )
+            assert engine.events == ref.events
+
+    def test_mid_run_switches_stay_bit_identical(self, tet_small, eam_small):
+        ref = _serial_engine(tet_small, eam_small, "full")
+        ref.run(n_steps=60)
+        # Switching in either direction drops the snapshots and rebuilds
+        # from scratch — the trajectory must not notice.
+        switched = _serial_engine(tet_small, eam_small, "delta")
+        switched.run(n_steps=25)
+        switched.kernel.set_rebuild_path("full")
+        switched.run(n_steps=15)
+        switched.kernel.set_rebuild_path("delta")
+        switched.run(n_steps=20)
+        assert switched.time == ref.time
+        assert np.array_equal(switched.lattice.occupancy, ref.lattice.occupancy)
+
+    def test_parallel_bit_identical_across_modes(self, tet_small, eam_small):
+        sims = {}
+        for mode in ("full", "delta"):
+            sim = SublatticeKMC(
+                _alloy((8, 8, 16), 3),
+                eam_small,
+                tet_small,
+                n_ranks=2,
+                temperature=1100.0,
+                t_stop=4e-9,
+                seed=3,
+                rebuild_path=mode,
+            )
+            sim.run(6)
+            sims[mode] = sim
+        ref, delta = sims["full"], sims["delta"]
+        assert ref.summary()["rebuild_path"] == "full"
+        assert delta.summary()["rebuild_path"] == "delta"
+        assert delta.time == ref.time
+        assert np.array_equal(
+            delta.gather_global().occupancy, ref.gather_global().occupancy
+        )
+        assert [c.events for c in delta.cycles] == [
+            c.events for c in ref.cycles
+        ]
+        assert [c.sector for c in delta.cycles] == [
+            c.sector for c in ref.cycles
+        ]
+        # Rank snapshots must match a from-scratch window gather — this
+        # also exercises the parked/recycled-slot path, because the
+        # post-cycle rescan parks every vacancy that left the rank's box.
+        for rank in delta.ranks:
+
+            def vet_half_of(slot):
+                half = np.asarray(rank.kernel.key_of(slot), dtype=np.int64)
+                return half[None, :] + rank.tet.all_offsets
+
+            _assert_snapshots_match_gather(
+                rank.kernel.cache,
+                lambda s: rank.window.species_at_half(vet_half_of(s)),
+                lambda s: rank._window_flat_ids(vet_half_of(s)),
+            )
+
+
+class TestKnobValidation:
+    def test_engine_rejects_unknown_mode(self, tet_small, eam_small):
+        with pytest.raises(ValueError, match="unknown rebuild path"):
+            _serial_engine(tet_small, eam_small, "incremental")
+
+    def test_parallel_rejects_unknown_mode(self, tet_small, eam_small):
+        with pytest.raises(ValueError, match="unknown rebuild path"):
+            SublatticeKMC(
+                _alloy((8, 8, 16), 3),
+                eam_small,
+                tet_small,
+                n_ranks=2,
+                rebuild_path="incremental",
+            )
+
+    def test_delta_requires_batched_miss_path(self, tet_small, eam_small):
+        with pytest.raises(ValueError, match="batched full evaluation"):
+            TensorKMCEngine(
+                _alloy((6, 6, 6), 11),
+                eam_small,
+                tet_small,
+                batching="scalar",
+                rebuild_path="delta",
+            )
+
+    def test_kernel_delta_requires_callbacks(self):
+        kernel = EventKernel(
+            lambda key: SimpleRateEntry(rates=np.full(8, 0.5)),
+            lambda key: np.asarray(key, dtype=np.int64),
+            threshold=2.0,
+            keys=[(0, 0, 0)],
+        )
+        with pytest.raises(ValueError, match="callbacks"):
+            kernel.set_rebuild_path("delta")
+        assert not kernel.delta_active()  # auto resolves to full
+
+    def test_explicit_delta_blocks_legacy_hot_path(self, tet_small, eam_small):
+        engine = _serial_engine(tet_small, eam_small, "delta")
+        with pytest.raises(ValueError, match="vectorized"):
+            engine.kernel.set_hot_path("legacy")
+
+    def test_auto_mode_allows_legacy_hot_path(self, tet_small, eam_small):
+        engine = _serial_engine(tet_small, eam_small, "auto")
+        engine.run(n_steps=3)
+        engine.kernel.set_hot_path("legacy")  # drops snapshots, no raise
+        assert not engine.kernel.delta_active()
+        assert not engine.kernel.cache.delta_ready.any()
+
+
+class TestForcedFullFallbacks:
+    """Every payload-free mutation must drop the affected snapshots."""
+
+    @pytest.fixture()
+    def warm(self, tet_small, eam_small):
+        engine = _serial_engine(tet_small, eam_small, "delta")
+        engine.run(n_steps=10)
+        cache = engine.kernel.cache
+        ready = np.flatnonzero(cache.live & cache.delta_ready)
+        assert ready.size >= 3
+        return engine, cache, ready
+
+    def test_move_drops_the_mover(self, warm):
+        _, cache, ready = warm
+        slot = int(ready[0])
+        cache.move(slot, (10**9,))  # synthetic unused key
+        assert not cache.delta_ready[slot]
+
+    def test_remove_and_payload_free_invalidation_drop(self, warm):
+        _, cache, ready = warm
+        cache.remove_slot(int(ready[0]))
+        cache.invalidate_slot(int(ready[1]))
+        cache.invalidate_slots(np.array([int(ready[2])]))
+        assert not cache.delta_ready[ready[:3]].any()
+
+    def test_scalar_and_rate_only_stores_drop(self, warm):
+        _, cache, ready = warm
+        a, b = int(ready[0]), int(ready[1])
+        cache.store(a, SimpleRateEntry(rates=np.full(8, 0.5)))
+        cache.store_rates(np.array([b]), np.full((1, 8), 0.5))
+        assert not cache.delta_ready[a] and not cache.delta_ready[b]
+
+    def test_invalidate_all_and_mode_switches_drop_everything(self, warm):
+        engine, cache, _ = warm
+        cache.invalidate_all()
+        assert not cache.delta_ready.any()
+        engine.run(n_steps=2)
+        assert cache.delta_ready.any()
+        engine.kernel.set_rebuild_path("full")
+        assert not cache.delta_ready.any()
