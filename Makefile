@@ -1,6 +1,6 @@
 # Convenience targets for the TensorKMC reproduction.
 
-.PHONY: install test bench bench-smoke perf-trajectory fault-suite backend-suite rebuild-suite lint-backend check examples snapshot
+.PHONY: install test bench bench-smoke perf-trajectory fault-suite backend-suite rebuild-suite campaign-suite lint-backend check examples snapshot
 
 install:
 	pip install -e . --no-build-isolation
@@ -48,18 +48,28 @@ rebuild-suite:
 	PYTHONPATH=src python -m pytest -x -q tests/test_rebuild_path.py
 	PYTHONPATH=src python -m pytest -x -q benchmarks/bench_kernel_smoke.py::test_rebuild_path_is_faster_and_trajectory_identical
 
+# Campaign suite: run-loop hardening regressions, the cross-replica
+# campaign contract tests (bit-identity vs solo runs, hot swap, dead
+# replicas) and the cross-mode matrix, then the campaign smoke benchmark
+# (R=8 sequential vs shared autobatched evaluation, digest identity +
+# aggregate events/sec speedup gate, writes BENCH_campaign.json).
+campaign-suite:
+	PYTHONPATH=src python -m pytest -x -q tests/test_run_loop_hardening.py tests/test_campaign.py tests/test_mode_matrix.py
+	PYTHONPATH=src python benchmarks/bench_campaign_smoke.py
+
 # Lint: fail if a hot-path module under src/repro/{operators,nnp,core}
 # grows a new direct `import numpy` outside the shim + frozen exemptions.
 lint-backend:
 	python tools/check_backend_imports.py
 
-# What CI runs: the backend-import lint, tier-1 tests, the kernel smoke
-# benchmark (followed by the perf-trajectory diff against the committed
-# baseline), the rebuild-path suite, and the fault suite.
+# What CI runs: the backend-import lint, tier-1 tests, the kernel and
+# campaign smoke benchmarks (followed by the perf-trajectory diff against
+# the committed baselines), the rebuild-path suite, and the fault suite.
 check:
 	$(MAKE) lint-backend
 	PYTHONPATH=src python -m pytest -x -q
 	$(MAKE) bench-smoke
+	$(MAKE) campaign-suite
 	$(MAKE) perf-trajectory
 	$(MAKE) rebuild-suite
 	$(MAKE) fault-suite

@@ -1,0 +1,161 @@
+"""Campaign smoke benchmark: shared batched evaluation must pay off.
+
+Runs the same R=8 NNP seed sweep twice — ``mode="sequential"`` (each replica
+solo through the ordinary per-engine loop) and ``mode="shared"`` (every
+replica's stale rows fused into one ``evaluate_batch`` per round) — and
+compares aggregate throughput.  The shared mode's whole reason to exist is
+amortising the per-call overhead of the deterministic tiled-GEMM inference
+across replicas, so it must deliver a real speedup (>= 1.3x here, headroom
+below the ~1.5x a quiet runner shows) *while reproducing every replica's
+solo trajectory bit for bit* — the occupancy digests of the two modes must
+be identical, which this bench asserts before it trusts any timing.
+
+Sequential and shared rounds are interleaved and each mode keeps its best
+round, so runner-load drift hits both modes equally.  The numbers land in
+``BENCH_campaign.json`` at the repo root, tracked across commits by
+``benchmarks/check_perf_trajectory.py``.
+
+Runs standalone (``python benchmarks/bench_campaign_smoke.py``) and under
+pytest (``pytest benchmarks/bench_campaign_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.campaign import ReplicaCampaign, alloy_engine_factory, seed_sweep
+from repro.core.tet import TripleEncoding
+from repro.nnp import ElementNetworks, NNPotential
+from repro.potentials import FeatureTable
+
+#: Replica count — the acceptance workload is an R=8 seed sweep.
+N_REPLICAS = 8
+N_STEPS = 60
+BOX = 10
+VACANCY_FRACTION = 0.02
+#: Interleaved sequential/shared rounds; each mode keeps its best round.
+ROUNDS = 3
+#: Aggregate events/sec of the shared mode over the sequential baseline.
+#: A quiet runner shows ~1.5x; 1.3 keeps the gate robust to noise.
+MIN_SPEEDUP = 1.3
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
+
+
+def _nnp_potential() -> NNPotential:
+    """Small randomly-initialised NNP (the bench-standard construction)."""
+    tet = TripleEncoding(rcut=2.87)
+    table = FeatureTable(tet.shell_distances)
+    nets = ElementNetworks(
+        (2 * table.n_dim, 16, 8, 1), np.random.default_rng(11)
+    )
+    model = NNPotential(table, nets, rcut=2.87)
+    n_feat = 2 * table.n_dim
+    model.set_standardisation(
+        np.full(n_feat, 0.1, dtype=np.float32),
+        np.full(n_feat, 2.0, dtype=np.float32),
+        np.array([-4.0, -3.5]),
+        0.05,
+    )
+    return model
+
+
+def _run_once(mode: str, potential, tet):
+    """One full campaign in ``mode``; returns (seconds, results, campaign)."""
+    factory = alloy_engine_factory(
+        BOX, potential, tet, cu_fraction=0.05,
+        vacancy_fraction=VACANCY_FRACTION,
+    )
+    specs = seed_sweep(range(N_REPLICAS), n_steps=N_STEPS)
+    campaign = ReplicaCampaign(specs, factory, mode=mode)
+    t0 = time.perf_counter()
+    results = campaign.run()
+    return time.perf_counter() - t0, results, campaign
+
+
+def run_campaign_smoke() -> dict:
+    """Sequential vs shared campaign at R=8; writes BENCH_campaign.json."""
+    tet = TripleEncoding(rcut=2.87)
+    potential = _nnp_potential()
+    best = {"sequential": np.inf, "shared": np.inf}
+    digests = {}
+    events = {}
+    aggregate = {}
+    for _ in range(ROUNDS):
+        for mode in ("sequential", "shared"):
+            seconds, results, campaign = _run_once(mode, potential, tet)
+            best[mode] = min(best[mode], seconds)
+            digests[mode] = [r.digest for r in results]
+            events[mode] = sum(r.executed for r in results)
+            aggregate[mode] = campaign.summary()
+    bitwise = digests["sequential"] == digests["shared"]
+    eps = {
+        mode: events[mode] / best[mode] for mode in ("sequential", "shared")
+    }
+    speedup = eps["shared"] / eps["sequential"]
+    shared = aggregate["shared"]
+    report = {
+        "benchmark": "campaign_smoke",
+        "replicas": N_REPLICAS,
+        "steps_per_replica": N_STEPS,
+        "box": BOX,
+        "vacancy_fraction": VACANCY_FRACTION,
+        "rounds": ROUNDS,
+        "events": events["shared"],
+        "sequential_seconds": best["sequential"],
+        "shared_seconds": best["shared"],
+        "sequential_events_per_s": eps["sequential"],
+        "shared_events_per_s": eps["shared"],
+        # Per-event costs in us — the units check_perf_trajectory.py tracks.
+        "sequential_us_per_event": 1e6 * best["sequential"] / events["sequential"],
+        "shared_us_per_event": 1e6 * best["shared"] / events["shared"],
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "bitwise_identical": bool(bitwise),
+        "shared_batches": int(shared["shared_batches"]),
+        "shared_rows": int(shared["shared_rows"]),
+        "max_shared_batch": int(shared["max_shared_batch"]),
+        "mean_shared_batch": (
+            shared["shared_rows"] / shared["shared_batches"]
+            if shared["shared_batches"]
+            else 0.0
+        ),
+        "ok": bool(bitwise) and speedup >= MIN_SPEEDUP,
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_campaign_shared_mode_is_faster_and_bitwise():
+    report = run_campaign_smoke()
+    assert report["bitwise_identical"], report
+    assert report["events"] == N_REPLICAS * N_STEPS, report
+    # The fused batches really span replicas: mean width beats what any
+    # single replica's per-step stale set could supply.
+    assert report["mean_shared_batch"] > N_REPLICAS, report
+    assert report["speedup"] >= MIN_SPEEDUP, report
+
+
+def main() -> int:
+    report = run_campaign_smoke()
+    print(json.dumps(report, indent=2))
+    print(
+        f"R={report['replicas']} x {report['steps_per_replica']} events: "
+        f"{report['sequential_events_per_s']:.0f} ev/s sequential vs "
+        f"{report['shared_events_per_s']:.0f} ev/s shared -> "
+        f"speedup {report['speedup']:.2f} (min {MIN_SPEEDUP}), "
+        f"bitwise_identical={report['bitwise_identical']}"
+    )
+    if not report["ok"]:
+        print("FAILED")
+        return 1
+    print(f"OK — report written to {REPORT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

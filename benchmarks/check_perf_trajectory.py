@@ -1,11 +1,12 @@
-"""Diff a fresh BENCH_kernel.json against the committed baseline.
+"""Diff fresh benchmark reports against their committed baselines.
 
-``make bench-smoke`` rewrites ``BENCH_kernel.json`` with the timings of the
+``make bench-smoke`` rewrites ``BENCH_kernel.json`` (and ``make
+campaign-suite`` rewrites ``BENCH_campaign.json``) with the timings of the
 current tree; this script compares the fresh numbers against the committed
-copy (``git show HEAD:BENCH_kernel.json`` by default) and fails when any
-tracked per-event time regressed by more than the tolerance.  It gives the
-perf trajectory of the repo a memory: a PR that slows the hot path down
-fails CI even though every correctness test still passes.
+copies (``git show HEAD:<report>`` by default) and fails when any tracked
+per-event time regressed by more than the tolerance.  It gives the perf
+trajectory of the repo a memory: a PR that slows the hot path down fails CI
+even though every correctness test still passes.
 
 Only slowdowns fail; speedups simply become the new baseline once the
 refreshed report is committed.  Metrics absent from the baseline (older
@@ -103,22 +104,45 @@ def tracked_metrics(report: dict) -> list:
     return metrics
 
 
-def load_baseline(spec: str) -> dict:
-    """Load the baseline report from a path or a ``git:REF`` spec."""
+def campaign_metrics(report: dict) -> list:
+    """Tracked per-event times of the campaign smoke benchmark."""
+    return ["sequential_us_per_event", "shared_us_per_event"]
+
+
+#: Every report the trajectory gate watches: (filename, metrics function).
+#: The speedup/ratio gates live in each report's own ``ok`` flag (checked
+#: by CI's perf-gate step); this script only watches absolute times.
+REPORTS = (
+    ("BENCH_kernel.json", tracked_metrics),
+    ("BENCH_campaign.json", campaign_metrics),
+)
+
+
+def load_baseline(spec: str, filename: str = "BENCH_kernel.json") -> dict:
+    """Load a baseline report from a path or a ``git:REF`` spec.
+
+    ``git:REF`` resolves ``filename`` at that ref; a filesystem path names
+    the kernel report directly and sibling reports are read from the same
+    directory under their canonical names.
+    """
     if spec.startswith("git:"):
         ref = spec[len("git:"):]
         blob = subprocess.run(
-            ["git", "show", f"{ref}:BENCH_kernel.json"],
+            ["git", "show", f"{ref}:{filename}"],
             cwd=REPO_ROOT, capture_output=True, text=True, check=True,
         ).stdout
         return json.loads(blob)
-    return json.loads(Path(spec).read_text())
+    path = Path(spec)
+    if path.name != filename:
+        path = path.parent / filename
+    return json.loads(path.read_text())
 
 
-def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
+def compare(fresh: dict, baseline: dict, tolerance: float,
+            metrics_fn=tracked_metrics) -> list:
     """Regressions as (metric, baseline_us, fresh_us, ratio) tuples."""
     regressions = []
-    for metric in tracked_metrics(fresh):
+    for metric in metrics_fn(fresh):
         base = _dig(baseline, metric)
         new = _dig(fresh, metric)
         if base is None or new is None:
@@ -133,49 +157,45 @@ def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
     return regressions
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--fresh", default=str(DEFAULT_FRESH),
-                        help="freshly generated report (default: repo root)")
-    parser.add_argument("--baseline", default="git:HEAD",
-                        help="committed report: a path or git:REF")
-    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
-                        help="allowed slowdown fraction (env PERF_TOLERANCE)")
-    args = parser.parse_args(argv)
+def check_report(filename: str, metrics_fn, fresh_path: Path,
+                 baseline_spec: str, tolerance: float) -> int:
+    """Diff one report against its baseline; 0 = OK or skipped, 1 = FAIL.
 
-    # The gate must never block a tree that simply has no numbers to compare:
-    # a missing or unreadable report on either side is a warning, not a
-    # failure (regressions can only be judged against a real baseline).
+    The gate must never block a tree that simply has no numbers to compare:
+    a missing or unreadable report on either side is a warning, not a
+    failure (regressions can only be judged against a real baseline).
+    """
     try:
-        fresh = json.loads(Path(args.fresh).read_text())
+        fresh = json.loads(fresh_path.read_text())
     except FileNotFoundError:
         print(
-            f"perf-trajectory: no fresh report at {args.fresh} "
-            "(run `make bench-smoke` first); skipping"
+            f"perf-trajectory: no fresh report at {fresh_path} "
+            "(run the matching benchmark first); skipping"
         )
         return 0
     except json.JSONDecodeError as exc:
-        print(f"perf-trajectory: fresh report {args.fresh} is not valid JSON "
+        print(f"perf-trajectory: fresh report {fresh_path} is not valid JSON "
               f"({exc}); skipping")
         return 0
     try:
-        baseline = load_baseline(args.baseline)
+        baseline = load_baseline(baseline_spec, filename)
     except (subprocess.CalledProcessError, FileNotFoundError):
-        print(f"perf-trajectory: no baseline at {args.baseline}; skipping")
+        print(f"perf-trajectory: no baseline for {filename} at "
+              f"{baseline_spec}; skipping")
         return 0
     except json.JSONDecodeError as exc:
-        print(f"perf-trajectory: baseline {args.baseline} is not valid JSON "
-              f"({exc}); skipping")
+        print(f"perf-trajectory: baseline {baseline_spec} ({filename}) is "
+              f"not valid JSON ({exc}); skipping")
         return 0
 
     checked = [
-        m for m in tracked_metrics(fresh)
+        m for m in metrics_fn(fresh)
         if _dig(baseline, m) is not None and _dig(fresh, m) is not None
     ]
-    regressions = compare(fresh, baseline, args.tolerance)
+    regressions = compare(fresh, baseline, tolerance, metrics_fn)
     print(
-        f"perf-trajectory: {len(checked)} metrics vs {args.baseline} "
-        f"(tolerance {args.tolerance:.0%})"
+        f"perf-trajectory: {filename}: {len(checked)} metrics vs "
+        f"{baseline_spec} (tolerance {tolerance:.0%})"
     )
     for metric, base, new, ratio in regressions:
         print(
@@ -183,6 +203,34 @@ def main(argv=None) -> int:
             f"({ratio:.2f}x)"
         )
     if regressions:
+        print(f"perf-trajectory: {filename}: FAIL")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default=str(DEFAULT_FRESH),
+                        help="freshly generated kernel report (default: repo "
+                             "root; sibling reports are read from the same "
+                             "directory)")
+    parser.add_argument("--baseline", default="git:HEAD",
+                        help="committed reports: a path or git:REF")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed slowdown fraction (env PERF_TOLERANCE)")
+    args = parser.parse_args(argv)
+
+    fresh_dir = Path(args.fresh).parent
+    failed = 0
+    for filename, metrics_fn in REPORTS:
+        fresh_path = (
+            Path(args.fresh) if filename == "BENCH_kernel.json"
+            else fresh_dir / filename
+        )
+        failed += check_report(
+            filename, metrics_fn, fresh_path, args.baseline, args.tolerance
+        )
+    if failed:
         print("perf-trajectory: FAIL")
         return 1
     print("perf-trajectory: OK")

@@ -1,0 +1,32 @@
+"""Cross-replica campaigns: many independent KMC replicas, one hot loop.
+
+See :mod:`repro.campaign.engine` for the design; the public surface is
+
+* :class:`ReplicaSpec` / :func:`seed_sweep` / :func:`temperature_ladder` —
+  describing what to run;
+* :func:`alloy_engine_factory` — the CLI-convention engine builder;
+* :class:`ReplicaCampaign` — the driver (``mode="shared"`` funnels every
+  replica's stale rows into one batched potential call per round);
+* :func:`occupancy_digest` — order-independent trajectory fingerprint used
+  by the bit-identity tests and benchmarks.
+"""
+
+from .engine import (
+    ReplicaCampaign,
+    ReplicaResult,
+    ReplicaSpec,
+    alloy_engine_factory,
+    occupancy_digest,
+    seed_sweep,
+    temperature_ladder,
+)
+
+__all__ = [
+    "ReplicaCampaign",
+    "ReplicaResult",
+    "ReplicaSpec",
+    "alloy_engine_factory",
+    "occupancy_digest",
+    "seed_sweep",
+    "temperature_ladder",
+]

@@ -1,0 +1,395 @@
+"""Cross-replica campaign driver with autobatched miss evaluation.
+
+A production KMC study is rarely one trajectory: it is a *campaign* — a seed
+sweep for statistics, or a temperature ladder for Arrhenius fits — of many
+small, independent replicas.  Run naively, each replica funnels its handful
+of stale vacancy systems through its own potential call per step, and the
+expensive evaluator (the NNP's tiled-GEMM inference in particular) sees a
+stream of tiny batches that waste its throughput.
+
+:class:`ReplicaCampaign` runs R replicas in one process and, once per round,
+stacks *every* replica's stale rows into a single
+:meth:`~repro.core.vacancy_system.VacancySystemEvaluator.evaluate_batch`
+call — the same autobatching idea popularised by batched MD front-ends:
+independent systems share one forward pass, and a replica that finishes (or
+freezes) is hot-swapped out for the next queued spec so the shared batch
+stays full.  Cross-replica deduplication comes for free: the shared call
+goes through ``evaluate_batch``, whose row dedup now sees identical vacancy
+environments from *different* replicas (common in a seed sweep's dilute
+matrix) and evaluates them once.
+
+**Bit-identity.**  The campaign changes *when and where* rows are evaluated,
+never their values.  Shared mode requires ``batch_row_invariant`` potentials
+(per-row results independent of batch composition — see
+:class:`~repro.potentials.base.CountsPotential`), gathers each replica's
+rows with the engine's own
+:meth:`~repro.core.engine.SerialAKMCBase._gather_for_sites`, converts
+energies to rates with each replica's own
+:class:`~repro.core.rates.RateModel` (temperatures may differ per replica),
+and hands the results back through
+:meth:`~repro.core.kernel.EventKernel.apply_refresh`.  Each replica's
+subsequent :meth:`step` finds nothing stale and draws from its own RNG in
+the usual order, so every fixed-seed trajectory is bit-identical to running
+that replica solo — asserted over the full campaign, hot swaps included, in
+``tests/test_campaign.py``.
+
+``mode="sequential"`` runs the same specs one after another through the
+ordinary per-engine loop — the baseline the benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..constants import TEMPERATURE_RPV, VACANCY_CONCENTRATION
+from ..core.engine import SerialAKMCBase, TensorKMCEngine
+from ..core.kernel import NoMovesError
+from ..core.profiling import PhaseProfiler, merge_disjoint
+from ..core.vacancy_cache import BatchEntries
+from ..lattice import LatticeState
+
+__all__ = [
+    "ReplicaCampaign",
+    "ReplicaResult",
+    "ReplicaSpec",
+    "alloy_engine_factory",
+    "occupancy_digest",
+    "seed_sweep",
+    "temperature_ladder",
+]
+
+#: Campaign phase names, in reporting order: replica admission/hot swap,
+#: the stale-row gather, the shared potential call, the per-replica
+#: scatter, and the per-replica KMC steps.
+CAMPAIGN_PHASES = ("admit", "gather", "evaluate", "scatter", "step")
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One replica of a campaign: a name, its RNG seed, its temperature,
+    and its event budget.  The seed follows the CLI convention — lattice
+    disorder from ``default_rng(seed)``, the engine's event stream from
+    ``default_rng(seed + 1)`` — so a campaign replica and a ``repro run
+    --seed N`` invocation describe the same trajectory."""
+
+    name: str
+    seed: int
+    temperature: float = TEMPERATURE_RPV
+    n_steps: int = 100
+
+    def __post_init__(self) -> None:
+        if self.n_steps < 0:
+            raise ValueError(f"n_steps must be >= 0, got {self.n_steps}")
+
+
+def seed_sweep(
+    seeds: Iterable[int],
+    n_steps: int = 100,
+    temperature: float = TEMPERATURE_RPV,
+) -> List[ReplicaSpec]:
+    """One replica per seed, all at one temperature (statistics sweep)."""
+    return [
+        ReplicaSpec(
+            name=f"seed{int(s)}", seed=int(s), temperature=temperature,
+            n_steps=n_steps,
+        )
+        for s in seeds
+    ]
+
+
+def temperature_ladder(
+    temperatures: Iterable[float],
+    n_steps: int = 100,
+    seed: int = 0,
+) -> List[ReplicaSpec]:
+    """One replica per temperature, all from one seed (Arrhenius ladder)."""
+    return [
+        ReplicaSpec(
+            name=f"T{float(t):g}", seed=int(seed), temperature=float(t),
+            n_steps=n_steps,
+        )
+        for t in temperatures
+    ]
+
+
+def alloy_engine_factory(
+    box: int,
+    potential,
+    tet,
+    cu_fraction: float,
+    vacancy_fraction: float = VACANCY_CONCENTRATION,
+    backend=None,
+    rebuild_path: str = "full",
+) -> Callable[[ReplicaSpec], TensorKMCEngine]:
+    """Engine builder matching the CLI's ``run`` construction per spec.
+
+    Every replica gets its own lattice (disorder drawn from
+    ``default_rng(spec.seed)``) and its own engine RNG
+    (``default_rng(spec.seed + 1)``); the potential and TET are shared.
+    ``rebuild_path`` defaults to ``"full"`` rather than the engine's
+    ``"auto"``: the incremental delta path patches rows *inside* the
+    kernel, which would fragment the campaign's shared batch — and the
+    rebuild paths are bit-identical anyway, so nothing is lost.
+    """
+
+    def build(spec: ReplicaSpec) -> TensorKMCEngine:
+        lattice = LatticeState((box,) * 3)
+        lattice.randomize_alloy(
+            np.random.default_rng(spec.seed), cu_fraction=cu_fraction,
+            vacancy_fraction=vacancy_fraction,
+        )
+        return TensorKMCEngine(
+            lattice, potential, tet, temperature=spec.temperature,
+            rng=np.random.default_rng(spec.seed + 1), backend=backend,
+            rebuild_path=rebuild_path,
+        )
+
+    return build
+
+
+def occupancy_digest(lattice: LatticeState) -> str:
+    """SHA-256 fingerprint of a lattice's occupancy (shape included).
+
+    Two engines that executed the same trajectory have equal digests; the
+    bit-identity tests and the campaign benchmark compare these instead of
+    hauling whole occupancy arrays around.
+    """
+    h = hashlib.sha256()
+    h.update(np.asarray(lattice.shape, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(np.asarray(lattice.occupancy)).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class ReplicaResult:
+    """Outcome of one replica: its spec, the events it executed, whether it
+    froze before exhausting its budget, its final clock and occupancy
+    digest, and the engine's full :meth:`summary` counters."""
+
+    spec: ReplicaSpec
+    executed: int
+    frozen: bool
+    time: float
+    digest: str
+    summary: Dict[str, float] = field(repr=False, default_factory=dict)
+
+
+class _Replica:
+    """In-flight bookkeeping for one admitted replica."""
+
+    __slots__ = ("index", "spec", "engine", "executed", "frozen")
+
+    def __init__(self, index: int, spec: ReplicaSpec, engine) -> None:
+        self.index = index
+        self.spec = spec
+        self.engine = engine
+        self.executed = 0
+        self.frozen = False
+
+    @property
+    def done(self) -> bool:
+        return self.frozen or self.executed >= self.spec.n_steps
+
+
+class ReplicaCampaign:
+    """Run a list of :class:`ReplicaSpec` through one shared hot loop.
+
+    Parameters
+    ----------
+    specs:
+        The replicas, in result order.
+    engine_factory:
+        ``spec -> engine`` builder (see :func:`alloy_engine_factory`).
+        Called lazily: a queued spec costs nothing until a slot frees up.
+    max_in_flight:
+        How many replicas run concurrently (default: all of them).  When
+        a replica completes — budget exhausted or frozen — the next queued
+        spec is admitted in its place at the start of the following round.
+    mode:
+        ``"shared"`` (default): one fused ``evaluate_batch`` per round over
+        every in-flight replica's stale rows.  ``"sequential"``: each
+        replica runs solo via :meth:`~repro.core.engine.SerialAKMCBase.run`
+        with ``on_no_moves="stop"`` — the benchmark baseline.
+    """
+
+    MODES = ("shared", "sequential")
+
+    def __init__(
+        self,
+        specs: Sequence[ReplicaSpec],
+        engine_factory: Callable[[ReplicaSpec], SerialAKMCBase],
+        max_in_flight: Optional[int] = None,
+        mode: str = "shared",
+    ) -> None:
+        specs = list(specs)
+        if not specs:
+            raise ValueError("a campaign needs at least one replica spec")
+        if len({s.name for s in specs}) != len(specs):
+            raise ValueError("replica names must be unique")
+        if mode not in self.MODES:
+            raise ValueError(
+                f"unknown campaign mode {mode!r}; allowed: {self.MODES}"
+            )
+        if max_in_flight is None:
+            max_in_flight = len(specs)
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        self.specs = specs
+        self.engine_factory = engine_factory
+        self.max_in_flight = int(max_in_flight)
+        self.mode = mode
+        #: Aggregate wall-time attribution over :data:`CAMPAIGN_PHASES`
+        #: (per-replica select/hop/invalidate timing stays on each engine's
+        #: own profiler, surfaced through :attr:`ReplicaResult.summary`).
+        self.profiler = PhaseProfiler()
+        self.rounds = 0
+        self.admitted = 0
+        self.shared_batches = 0
+        self.shared_rows = 0
+        self.max_shared_batch = 0
+        self._evaluator = None  # batch-compatibility reference
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[ReplicaResult]:
+        """Execute the campaign; results are ordered like ``specs``."""
+        if self.mode == "sequential":
+            return self._run_sequential()
+        return self._run_shared()
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate campaign counters + phase timings (flat namespace)."""
+        return merge_disjoint(
+            {
+                "mode": self.mode,
+                "replicas": len(self.specs),
+                "rounds": self.rounds,
+                "admitted": self.admitted,
+                "shared_batches": self.shared_batches,
+                "shared_rows": self.shared_rows,
+                "max_shared_batch": self.max_shared_batch,
+            },
+            self.profiler.summary(),
+        )
+
+    # ------------------------------------------------------------------
+    def _result(self, rep: _Replica) -> ReplicaResult:
+        return ReplicaResult(
+            spec=rep.spec,
+            executed=rep.executed,
+            frozen=rep.frozen,
+            time=float(rep.engine.time),
+            digest=occupancy_digest(rep.engine.lattice),
+            summary=rep.engine.summary(),
+        )
+
+    def _admit(self, index: int, spec: ReplicaSpec) -> _Replica:
+        engine = self.engine_factory(spec)
+        if not getattr(engine.potential, "batch_row_invariant", False):
+            raise ValueError(
+                "shared campaign mode needs a batch_row_invariant potential "
+                "(per-row results must not depend on batch composition); "
+                "use mode='sequential' for this potential"
+            )
+        if self._evaluator is None:
+            self._evaluator = engine.evaluator
+        elif not self._evaluator.batch_compatible(engine.evaluator):
+            raise ValueError(
+                f"replica {spec.name!r} is not batch-compatible with the "
+                "campaign (potential / element count / TET mismatch)"
+            )
+        self.admitted += 1
+        return _Replica(index, spec, engine)
+
+    def _run_shared(self) -> List[ReplicaResult]:
+        queue = deque(enumerate(self.specs))
+        active: List[_Replica] = []
+        results: List[Optional[ReplicaResult]] = [None] * len(self.specs)
+
+        while queue or active:
+            # Hot swap: fill freed slots from the queue before the round's
+            # shared batch, so a retired replica's rows are replaced by the
+            # newcomer's cold-start rows in the very next fused call.
+            with self.profiler.phase("admit"):
+                while queue and len(active) < self.max_in_flight:
+                    index, spec = queue.popleft()
+                    active.append(self._admit(index, spec))
+
+            # Gather every in-flight replica's stale rows (read-only).
+            work = []
+            with self.profiler.phase("gather"):
+                for rep in active:
+                    stale = rep.engine.kernel.stale_batch()
+                    if stale.size == 0:
+                        continue
+                    keys = rep.engine.kernel.cache.keys_of(stale)
+                    ids, vet_ids, vets = rep.engine._gather_for_sites(keys)
+                    work.append((rep, stale, ids, vet_ids, vets))
+
+            # One potential call for all replicas; evaluate_batch's row
+            # dedup now operates across replica boundaries.
+            with self.profiler.phase("evaluate"):
+                batches = self._evaluator.evaluate_batch_segments(
+                    [vets for (_, _, _, _, vets) in work]
+                )
+                if work:
+                    rows = sum(stale.size for (_, stale, _, _, _) in work)
+                    self.shared_batches += 1
+                    self.shared_rows += int(rows)
+                    self.max_shared_batch = max(
+                        self.max_shared_batch, int(rows)
+                    )
+
+            # Scatter each replica's segment back through its own rate
+            # model (temperatures may differ) and its kernel's store path.
+            with self.profiler.phase("scatter"):
+                for (rep, stale, ids, vet_ids, vets), energies in zip(
+                    work, batches
+                ):
+                    rates = rep.engine.rate_model.rates_batch(energies)
+                    rep.engine.kernel.apply_refresh(
+                        stale,
+                        BatchEntries(
+                            sites=ids, vet_ids=vet_ids, vets=vets,
+                            energies=energies, rates=rates,
+                        ),
+                    )
+
+            # One KMC event per replica; refresh inside step() finds
+            # nothing stale, so each replica's RNG draw order matches its
+            # solo run exactly.
+            with self.profiler.phase("step"):
+                for rep in active:
+                    try:
+                        rep.engine.step()
+                        rep.executed += 1
+                    except NoMovesError:
+                        rep.frozen = True
+            self.rounds += 1
+
+            retired = [rep for rep in active if rep.done]
+            for rep in retired:
+                results[rep.index] = self._result(rep)
+                active.remove(rep)
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _run_sequential(self) -> List[ReplicaResult]:
+        results: List[ReplicaResult] = []
+        for spec in self.specs:
+            with self.profiler.phase("admit"):
+                engine = self.engine_factory(spec)
+                self.admitted += 1
+            with self.profiler.phase("step"):
+                rep = _Replica(len(results), spec, engine)
+                rep.executed = engine.run(
+                    n_steps=spec.n_steps, on_no_moves="stop"
+                )
+                rep.frozen = rep.executed < spec.n_steps
+            results.append(self._result(rep))
+        return results

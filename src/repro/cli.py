@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the daily workflow:
+Five subcommands cover the daily workflow:
 
 * ``run``      — serial TensorKMC simulation of an Fe-Cu alloy;
 * ``parallel`` — the same workload on the synchronous sublattice driver,
   optionally checkpointing at cycle boundaries and recovering from an
   injected rank failure (``--kill-rank``);
+* ``campaign`` — many independent replicas (seed sweep or temperature
+  ladder) with every replica's stale rows fused into one shared potential
+  call per round;
 * ``resume``   — continue a serial or parallel checkpoint (auto-detected);
 * ``train``    — fit an NNP to oracle-labelled structures and save it.
 
@@ -73,6 +76,31 @@ def build_parser() -> argparse.ArgumentParser:
                      help="inject a rank failure (requires --checkpoint)")
     par.add_argument("--kill-cycle", type=int, default=None,
                      help="cycle at which --kill-rank dies (default 0)")
+
+    camp = sub.add_parser(
+        "campaign",
+        help="cross-replica campaign with shared batched evaluation",
+    )
+    _common_alloy_args(camp)
+    camp.add_argument("--replicas", type=int, default=4,
+                      help="seed-sweep size: seeds --seed .. --seed+R-1 "
+                           "(ignored when --seeds/--temperatures is given)")
+    camp.add_argument("--seeds", type=int, nargs="+", default=None,
+                      help="explicit seed list, one replica per seed")
+    camp.add_argument("--temperatures", type=float, nargs="+", default=None,
+                      help="temperature ladder, one replica per value "
+                           "(all replicas use --seed)")
+    camp.add_argument("--steps", type=int, default=200,
+                      help="KMC event budget per replica")
+    camp.add_argument("--max-in-flight", type=int, default=None,
+                      help="concurrent replicas; completed ones are "
+                           "hot-swapped for queued specs (default: all)")
+    camp.add_argument("--mode", choices=("shared", "sequential"),
+                      default="shared",
+                      help="shared = one fused potential call per round "
+                           "across replicas; sequential = solo baseline")
+    camp.add_argument("--potential", type=str, default=None,
+                      help="path to a trained NNPotential .npz (default: EAM)")
 
     res = sub.add_parser(
         "resume", help="continue a serial or parallel checkpoint"
@@ -266,6 +294,56 @@ def _cmd_parallel(args) -> int:
     return 0 if conserved else 1
 
 
+def _cmd_campaign(args) -> int:
+    from .campaign import (
+        ReplicaCampaign,
+        alloy_engine_factory,
+        seed_sweep,
+        temperature_ladder,
+    )
+
+    if args.seeds and args.temperatures:
+        raise SystemExit("error: --seeds and --temperatures are exclusive")
+    tet = TripleEncoding(rcut=args.rcut)
+    potential = _load_potential(args, tet)
+    if args.temperatures:
+        specs = temperature_ladder(
+            args.temperatures, n_steps=args.steps, seed=args.seed
+        )
+    else:
+        seeds = (
+            args.seeds if args.seeds
+            else range(args.seed, args.seed + args.replicas)
+        )
+        specs = seed_sweep(
+            seeds, n_steps=args.steps, temperature=args.temperature
+        )
+    vac = args.vacancies if args.vacancies is not None else VACANCY_CONCENTRATION
+    factory = alloy_engine_factory(
+        args.box, potential, tet, cu_fraction=args.cu, vacancy_fraction=vac,
+        backend=args.backend,
+    )
+    campaign = ReplicaCampaign(
+        specs, factory, max_in_flight=args.max_in_flight, mode=args.mode,
+    )
+    results = campaign.run()
+    agg = campaign.summary()
+    print(f"mode = {campaign.mode}")
+    print(f"replicas = {len(results)}")
+    print(f"rounds = {agg['rounds']}")
+    print(f"shared_batches = {agg['shared_batches']}")
+    print(f"shared_rows = {agg['shared_rows']}")
+    print(f"max_shared_batch = {agg['max_shared_batch']}")
+    print(f"events = {sum(r.executed for r in results)}")
+    for r in results:
+        print(
+            f"replica[{r.spec.name}] events={r.executed} "
+            f"time_s={r.time:.6e} frozen={r.frozen} "
+            f"digest={r.digest[:12]}"
+        )
+    return 0
+
+
 def _cmd_resume(args) -> int:
     from .io.checkpoint import (
         checkpoint_kind,
@@ -351,6 +429,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "parallel":
         return _cmd_parallel(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "resume":
         return _cmd_resume(args)
     if args.command == "train":

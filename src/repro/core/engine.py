@@ -29,7 +29,7 @@ from ..potentials.base import CountsPotential
 from .backend import get_backend
 from .delta import DeltaRebuilder
 from .kernel import EventKernel, NoMovesError
-from .profiling import PhaseProfiler
+from .profiling import PhaseProfiler, merge_disjoint
 from .propensity import PropensityStore
 from .rates import RateModel, residence_time
 from .tet import TripleEncoding
@@ -246,6 +246,23 @@ class SerialAKMCBase:
             site=site, vet_ids=vet_ids, vet=vet, energies=energies, rates=rates
         )
 
+    def _gather_for_sites(self, sites):
+        """``(ids, vet_ids, vets)`` gather of a site batch, no evaluation.
+
+        The read-only half of the batched miss path, split out so an
+        external driver (the cross-replica campaign) can collect many
+        engines' miss rows and evaluate them through one shared potential
+        call; :meth:`_build_for_sites` and the campaign produce identical
+        gathers by construction.
+        """
+        ids = np.asarray([int(s) for s in sites], dtype=np.int64)
+        half = self.lattice.half_coords(ids)
+        vet_ids = self.lattice.ids_from_half(
+            half[:, None, :] + self.tet.all_offsets[None, :, :]
+        )
+        vets = self.lattice.occupancy[vet_ids]
+        return ids, vet_ids, vets
+
     def _build_for_sites(self, sites) -> BatchEntries:
         """Batched miss path: all queued vacancy systems in one fused pass.
 
@@ -255,12 +272,7 @@ class SerialAKMCBase:
         array form: the kernel scatters the whole :class:`BatchEntries` into
         the cache's slot arrays without per-slot Python objects.
         """
-        ids = np.asarray([int(s) for s in sites], dtype=np.int64)
-        half = self.lattice.half_coords(ids)
-        vet_ids = self.lattice.ids_from_half(
-            half[:, None, :] + self.tet.all_offsets[None, :, :]
-        )
-        vets = self.lattice.occupancy[vet_ids]
+        ids, vet_ids, vets = self._gather_for_sites(sites)
         energies = self.evaluator.evaluate_batch(vets)
         rates = self.rate_model.rates_batch(energies)
         return BatchEntries(
@@ -373,26 +385,48 @@ class SerialAKMCBase:
             self.events.append(event)
         return event
 
+    #: Allowed ``on_no_moves`` policies of :meth:`run`.
+    NO_MOVES_POLICIES = ("raise", "stop")
+
     def run(
         self,
         n_steps: Optional[int] = None,
         t_end: Optional[float] = None,
         callback: Optional[Callable[[KMCEvent], None]] = None,
+        on_no_moves: str = "raise",
     ) -> int:
         """Run until a step budget or a simulated-time horizon is exhausted.
 
         Returns the number of events executed.  At least one of ``n_steps``
         and ``t_end`` must be provided.
+
+        ``on_no_moves`` decides what happens when the rate tree empties
+        mid-horizon (every direction of every vacancy invalid — e.g. all
+        remaining movers annihilated or frozen): ``"raise"`` (default, the
+        historical behaviour) propagates :class:`NoMovesError` to the
+        caller, ``"stop"`` ends the run cleanly and returns the events
+        executed so far — a frozen replica is a *result*, not a crash,
+        which is what campaign drivers need.
         """
         if n_steps is None and t_end is None:
             raise ValueError("provide n_steps and/or t_end")
+        if on_no_moves not in self.NO_MOVES_POLICIES:
+            raise ValueError(
+                f"unknown on_no_moves policy {on_no_moves!r}; allowed: "
+                f"{self.NO_MOVES_POLICIES}"
+            )
         executed = 0
         while True:
             if n_steps is not None and executed >= n_steps:
                 break
             if t_end is not None and self.time >= t_end:
                 break
-            event = self.step()
+            try:
+                event = self.step()
+            except NoMovesError:
+                if on_no_moves == "raise":
+                    raise
+                break
             executed += 1
             if callback is not None:
                 callback(event)
@@ -426,12 +460,18 @@ class SerialAKMCBase:
         )
 
     def summary(self) -> Dict[str, float]:
-        """Merged engine + kernel instrumentation counters and phase times."""
-        out = self.kernel.summary()
-        out["steps"] = self.step_count
-        out["time"] = self.time
-        out.update(self.profiler.summary())
-        return out
+        """Merged engine + kernel instrumentation counters and phase times.
+
+        The three sources — kernel counters, the engine's step/clock state,
+        and the profiler's ``{phase}_seconds`` timings — share one flat
+        namespace; :func:`~repro.core.profiling.merge_disjoint` guarantees a
+        key collision raises instead of silently overwriting a counter.
+        """
+        return merge_disjoint(
+            self.kernel.summary(),
+            {"steps": self.step_count, "time": self.time},
+            self.profiler.summary(),
+        )
 
 
 class TensorKMCEngine(SerialAKMCBase):

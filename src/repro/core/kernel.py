@@ -598,6 +598,53 @@ class EventKernel:
     # ------------------------------------------------------------------
     # Refresh + selection
     # ------------------------------------------------------------------
+    def stale_batch(self) -> np.ndarray:
+        """Active stale slots, ascending, *without* rebuilding them.
+
+        This is the read-only prologue of :meth:`refresh`: cache-off
+        semantics are applied (``use_cache=False`` drops every entry first)
+        and the sector mask narrows the candidates, but no build callback
+        runs.  A caller that evaluates the batch externally — the
+        cross-replica campaign funnels many kernels' stale sets into one
+        fused potential call — hands the results back through
+        :meth:`apply_refresh`.
+        """
+        if not self.use_cache:
+            self.invalidate_all()
+        stale_mask = self.cache.stale_mask()
+        if self._active_mask is not None:
+            stale_mask = stale_mask & self._active_mask
+        return np.flatnonzero(stale_mask)  # ascending, like the sorted set
+
+    def apply_refresh(self, stale: np.ndarray, entries) -> None:
+        """Scatter externally built entries for a :meth:`stale_batch` result.
+
+        ``entries`` follows the ``build_entries`` return contract (a
+        :class:`~repro.core.vacancy_cache.BatchEntries`, a bare ``(B, 8)``
+        rate matrix, or one entry per slot) and must line up with ``stale``
+        in slot order.  Stores, propensity updates, and the batched-miss
+        counters are identical to the in-kernel rebuild, so a trajectory
+        driven through ``stale_batch`` + external evaluation +
+        ``apply_refresh`` is bit-identical to one driven by :meth:`refresh`
+        — only *where* the rows were evaluated differs.  Cache-hit (reuse)
+        accounting stays with :meth:`refresh`, which the driver still calls
+        afterwards (finding nothing stale).
+        """
+        stale = np.asarray(stale, dtype=np.int64)
+        n = len(entries)
+        if n != stale.size:
+            raise RuntimeError(
+                f"apply_refresh got {n} entries for {stale.size} slots"
+            )
+        if stale.size == 0:
+            return
+        self.stats.rate_batches += 1
+        self.stats.batched_rows += int(stale.size)
+        self.stats.max_batch_size = max(
+            self.stats.max_batch_size, int(stale.size)
+        )
+        self._store_entries(stale, entries)
+
     def refresh(self) -> None:
         """Bring every active slot up to date before selection.
 
@@ -609,16 +656,12 @@ class EventKernel:
         re-evaluated through one fused batch call here (post-hop, post-ghost
         exchange, and cold starts alike).
         """
-        if not self.use_cache:
-            self.invalidate_all()
+        stale = self.stale_batch()
         cache = self.cache
-        stale_mask = cache.stale_mask()
         if self._active_mask is not None:
             n_active = int(np.count_nonzero(cache.live & self._active_mask))
-            stale_mask = stale_mask & self._active_mask
         else:
             n_active = cache.n_live
-        stale = np.flatnonzero(stale_mask)  # ascending, like the sorted set
         if stale.size:
             if self.hot_path == "legacy":
                 self._refresh_slots_legacy(stale)
@@ -643,6 +686,25 @@ class EventKernel:
         self.stats.max_batch_size = max(self.stats.max_batch_size, int(stale.size))
         return entries
 
+    def _store_entries(self, stale: np.ndarray, entries) -> None:
+        """Scatter built entries into the cache + one propensity sweep."""
+        cache = self.cache
+        if isinstance(entries, BatchEntries):
+            cache.store_batch(stale, entries)
+            self.stats.rates_evaluated += int(entries.rates.size)
+        elif isinstance(entries, np.ndarray) and entries.ndim == 2:
+            cache.store_rates(stale, entries)
+            self.stats.rates_evaluated += int(entries.size)
+        else:
+            for slot, entry in zip(stale, entries):
+                if isinstance(entry, np.ndarray):
+                    entry = SimpleRateEntry(entry)
+                cache.store(int(slot), entry)
+                self.stats.rates_evaluated += int(
+                    np.asarray(entry.rates).size
+                )
+        self.store.update_many(stale, cache.total_rates[stale])
+
     def _refresh_slots(self, stale: np.ndarray) -> None:
         """SoA rebuild: batch store + one vectorised propensity sweep."""
         cache = self.cache
@@ -650,28 +712,12 @@ class EventKernel:
             self.delta_active() and self.build_entries_delta is not None
         ):
             entries = self._built_entries(stale)
-            if isinstance(entries, BatchEntries):
-                cache.store_batch(stale, entries)
-                self.stats.rates_evaluated += int(entries.rates.size)
-            elif isinstance(entries, np.ndarray) and entries.ndim == 2:
-                cache.store_rates(stale, entries)
-                self.stats.rates_evaluated += int(entries.size)
-            else:
-                for slot, entry in zip(stale, entries):
-                    if isinstance(entry, np.ndarray):
-                        entry = SimpleRateEntry(entry)
-                    cache.store(int(slot), entry)
-                    self.stats.rates_evaluated += int(
-                        np.asarray(entry.rates).size
-                    )
         else:
+            entries = []
             for slot in stale:
                 entry = self.build_entry(cache.key_of(int(slot)))
-                if isinstance(entry, np.ndarray):
-                    entry = SimpleRateEntry(entry)
-                cache.store(int(slot), entry)
-                self.stats.rates_evaluated += int(np.asarray(entry.rates).size)
-        self.store.update_many(stale, cache.total_rates[stale])
+                entries.append(entry)
+        self._store_entries(stale, entries)
 
     def _refresh_slots_legacy(self, stale: np.ndarray) -> None:
         """Pre-SoA rebuild: per-slot stores and scalar propensity updates."""

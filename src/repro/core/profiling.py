@@ -28,12 +28,35 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Dict, Mapping
 
-__all__ = ["PHASES", "PhaseProfiler"]
+__all__ = ["PHASES", "PhaseProfiler", "merge_disjoint"]
 
 #: Phase names the engines use, in reporting order: propensity/cache
 #: rebuild, two-level selection, hop execution, distance invalidation, and
 #: (parallel only) the ghost-exchange/rescan block.
 PHASES = ("rebuild", "select", "hop", "invalidate", "exchange")
+
+
+def merge_disjoint(*mappings: Mapping) -> Dict:
+    """Merge mappings into one dict, refusing any key collision.
+
+    Engine summaries fold kernel counters, step/clock state, and the
+    profiler's ``{phase}_seconds`` timings into a single flat namespace; a
+    plain ``dict.update`` chain would let a later source silently overwrite
+    an earlier counter if the namespaces ever drift into each other.  This
+    helper makes that drift loud: a duplicate key raises :class:`ValueError`
+    naming the colliding key instead of shipping a corrupted summary.
+    """
+    out: Dict = {}
+    for mapping in mappings:
+        for key, value in mapping.items():
+            if key in out:
+                raise ValueError(
+                    f"summary key collision on {key!r}: refusing to merge "
+                    "overlapping summary namespaces (namespace the source "
+                    "or rename the counter)"
+                )
+            out[key] = value
+    return out
 
 
 class _PhaseTimer:

@@ -72,6 +72,20 @@ class StateEnergiesBatch:
         """All scalar views, in batch order."""
         return [self.row(b) for b in range(len(self))]
 
+    def segment(self, lo: int, hi: int) -> "StateEnergiesBatch":
+        """Contiguous sub-batch ``[lo, hi)`` as views (no copies).
+
+        The splitting half of the cross-caller batching contract (see
+        :meth:`VacancySystemEvaluator.evaluate_batch_segments`): stacking
+        segments, evaluating once, and slicing the result back apart.
+        """
+        return StateEnergiesBatch(
+            initial=self.initial[lo:hi],
+            delta=self.delta[lo:hi],
+            valid=self.valid[lo:hi],
+            migrating_species=self.migrating_species[lo:hi],
+        )
+
 
 class VacancySystemEvaluator:
     """Evaluates hop energetics of vacancy systems for a fixed TET/potential.
@@ -519,6 +533,60 @@ class VacancySystemEvaluator:
             valid=valid,
             migrating_species=nn_species,
         )
+
+    # ------------------------------------------------------------------
+    # Cross-caller batching: one fused call over many engines' miss rows
+    # ------------------------------------------------------------------
+    def batch_compatible(self, other: "VacancySystemEvaluator") -> bool:
+        """Whether rows from ``other`` may share a batch with this one.
+
+        Compatible means the stacked evaluation is *defined* and, for
+        row-invariant potentials, per-row bit-identical to evaluating each
+        caller's rows separately: both evaluators must run the very same
+        potential object (not merely an equal one — weights, standardisation
+        buffers, and backend staging all live on the instance) over the
+        same TET geometry and species alphabet.
+        """
+        return (
+            other.potential is self.potential
+            and other.n_elements == self.n_elements
+            and other.tet.n_all == self.tet.n_all
+            and other.tet.n_region == self.tet.n_region
+            and np.allclose(
+                other.tet.shell_distances, self.tet.shell_distances
+            )
+        )
+
+    def evaluate_batch_segments(
+        self, segments: List[np.ndarray]
+    ) -> List[StateEnergiesBatch]:
+        """One fused :meth:`evaluate_batch` over VET segments of many callers.
+
+        ``segments`` holds one ``(B_i, n_all)`` VET batch per caller (the
+        campaign passes one per replica; ``B_i = 0`` segments are fine).
+        All rows are stacked and evaluated through a *single* potential
+        call — row dedup then runs across the whole stack, so identical
+        environments in different replicas are evaluated once — and the
+        result is sliced back into per-segment batches.  For row-invariant
+        potentials every returned row is bit-identical to the segment
+        evaluating alone, which is what lets the campaign change *when*
+        rows are evaluated without ever changing their values.
+        """
+        if not segments:
+            return []
+        n_all = self.tet.n_all
+        stacked = np.concatenate(
+            [np.asarray(seg).reshape(-1, n_all) for seg in segments], axis=0
+        )
+        batch = self.evaluate_batch(stacked)
+        bounds = np.concatenate(
+            [[0], np.cumsum([np.asarray(s).reshape(-1, n_all).shape[0]
+                             for s in segments])]
+        )
+        return [
+            batch.segment(int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
 
     # ------------------------------------------------------------------
     # Row-level re-rate: the incremental rebuild path's energy kernel

@@ -33,7 +33,7 @@ from ..constants import T_STOP, TEMPERATURE_RPV
 from ..core.backend import get_backend
 from ..core.delta import DeltaRebuilder
 from ..core.kernel import EventKernel, NoMovesError
-from ..core.profiling import PHASES, PhaseProfiler
+from ..core.profiling import PHASES, PhaseProfiler, merge_disjoint
 from ..core.rates import RateModel, residence_time
 from ..core.tet import TripleEncoding
 from ..core.vacancy_system import VacancySystemEvaluator
@@ -615,9 +615,12 @@ class SublatticeKMC:
             else "full"
         )
         phases = self._phase_totals()
-        for name in PHASES:
-            out[f"{name}_seconds"] = phases.get(name, 0.0)
-        return out
+        # Same no-silent-overwrite contract as the serial summary: the
+        # counter namespace and the phase-timing namespace must stay
+        # disjoint, and drifting into each other raises.
+        return merge_disjoint(
+            out, {f"{name}_seconds": phases.get(name, 0.0) for name in PHASES}
+        )
 
     def _count_proximity_violations(self, updates) -> int:
         """Same-cycle changes from different ranks within interaction reach.

@@ -22,15 +22,69 @@ a fault-free run — asserted in ``tests/test_fault_injection.py``.
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Tuple
 
+import numpy as np
+
 from ..core.tet import TripleEncoding
-from ..io.checkpoint import load_parallel_checkpoint, save_parallel_checkpoint
+from ..io.checkpoint import (
+    checkpoint_kind,
+    load_parallel_checkpoint,
+    save_parallel_checkpoint,
+)
 from ..potentials.base import CountsPotential
 from .comm import ProtocolError
 from .engine import SublatticeKMC
 
 __all__ = ["run_resilient"]
+
+
+def _validate_archive(path: str, sim: SublatticeKMC) -> None:
+    """Refuse to clobber an archive that does not belong to ``sim``.
+
+    ``run_resilient`` writes an entry checkpoint before its first cycle; if
+    the caller points it at an unrelated archive (a serial checkpoint, a
+    different world's, or a *later* state of this campaign), that overwrite
+    silently destroys it.  An existing file must therefore look like an
+    earlier-or-equal checkpoint of this very simulation: parallel kind,
+    matching global shape and rank grid, and a stored cycle count no greater
+    than the running world's.
+    """
+    try:
+        kind = checkpoint_kind(path)
+    except Exception as exc:
+        raise ValueError(
+            f"refusing to overwrite {path!r}: existing file is not a "
+            f"readable checkpoint archive ({exc}); delete it or point "
+            "checkpoint_path elsewhere"
+        ) from exc
+    if kind != "parallel":
+        raise ValueError(
+            f"refusing to overwrite {path!r}: it holds a {kind!r} "
+            "checkpoint, not a parallel one; delete it or point "
+            "checkpoint_path elsewhere"
+        )
+    with np.load(path, allow_pickle=False) as data:
+        shape = tuple(int(v) for v in data["shape"])
+        grid = tuple(int(v) for v in data["grid"])
+        stored_cycles = int(data["cycles"].shape[0])
+    if shape != tuple(sim.global_shape):
+        raise ValueError(
+            f"refusing to overwrite {path!r}: archive shape {shape} does "
+            f"not match the running world {tuple(sim.global_shape)}"
+        )
+    if grid != tuple(sim.decomposition.grid):
+        raise ValueError(
+            f"refusing to overwrite {path!r}: archive rank grid {grid} "
+            f"does not match the running world {tuple(sim.decomposition.grid)}"
+        )
+    if stored_cycles > len(sim.cycles):
+        raise ValueError(
+            f"refusing to overwrite {path!r}: archive is at cycle "
+            f"{stored_cycles}, ahead of the running world's "
+            f"{len(sim.cycles)}; resume from the archive instead"
+        )
 
 
 def run_resilient(
@@ -53,11 +107,18 @@ def run_resilient(
     Raises the last :class:`~repro.parallel.comm.ProtocolError` unchanged if
     ``max_recoveries`` rollbacks are exhausted (a fault plan hostile enough
     to fail every replay window is a configuration error, not bad luck).
+
+    A file already present at ``checkpoint_path`` must be a compatible
+    earlier-or-equal checkpoint of this world (parallel kind, same shape and
+    rank grid, cycle count not ahead of ``sim``); anything else raises
+    :class:`ValueError` instead of being silently overwritten.
     """
     if n_cycles < 1:
         raise ValueError(f"n_cycles must be >= 1, got {n_cycles}")
     if checkpoint_every < 1:
         raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    if os.path.exists(checkpoint_path):
+        _validate_archive(checkpoint_path, sim)
     save_parallel_checkpoint(checkpoint_path, sim)
     target = len(sim.cycles) + n_cycles
     recoveries = 0

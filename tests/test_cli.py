@@ -1,4 +1,4 @@
-"""CLI: all four subcommands end-to-end."""
+"""CLI: all five subcommands end-to-end."""
 
 import numpy as np
 import pytest
@@ -116,6 +116,62 @@ class TestParallelCheckpointing:
         out = capsys.readouterr().out
         assert "kind = serial" in out
         assert "events = 15" in out
+
+
+class TestCampaignCommand:
+    def test_seed_sweep_matches_solo_runs(self, capsys):
+        # The campaign's replicas must be the same trajectories the `run`
+        # subcommand produces for the same seeds (shared batching is an
+        # execution detail, not a physics change) — compare the clocks.
+        assert main([
+            "campaign", "--box", "8", "--replicas", "2", "--steps", "25",
+            "--seed", "3", "--vacancies", "0.004",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mode = shared" in out
+        assert "replicas = 2" in out
+        times = {}
+        for line in out.splitlines():
+            if line.startswith("replica[seed"):
+                name = line.split("]")[0].split("[")[1]
+                times[name] = line.split("time_s=")[1].split()[0]
+        assert set(times) == {"seed3", "seed4"}
+        for seed in (3, 4):
+            assert main([
+                "run", "--box", "8", "--steps", "25", "--seed", str(seed),
+                "--vacancies", "0.004",
+            ]) == 0
+            solo = capsys.readouterr().out
+            solo_time = [
+                line.split(" = ")[1] for line in solo.splitlines()
+                if line.startswith("time_s")
+            ][0]
+            assert times[f"seed{seed}"] == solo_time
+
+    def test_temperature_ladder_and_hot_swap(self, capsys):
+        assert main([
+            "campaign", "--box", "8", "--temperatures", "700", "1000",
+            "--steps", "10", "--max-in-flight", "1",
+            "--vacancies", "0.004",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "replica[T700]" in out and "replica[T1000]" in out
+        assert "rounds = 20" in out  # one in flight: budgets run back-to-back
+
+    def test_sequential_mode(self, capsys):
+        assert main([
+            "campaign", "--box", "8", "--replicas", "2", "--steps", "5",
+            "--mode", "sequential", "--vacancies", "0.004",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mode = sequential" in out
+        assert "shared_batches = 0" in out
+
+    def test_seeds_and_temperatures_exclusive(self):
+        with pytest.raises(SystemExit):
+            main([
+                "campaign", "--seeds", "1", "2", "--temperatures", "900",
+            ])
 
 
 class TestTrainCommand:
