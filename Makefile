@@ -1,6 +1,6 @@
 # Convenience targets for the TensorKMC reproduction.
 
-.PHONY: install test bench bench-smoke perf-trajectory fault-suite backend-suite rebuild-suite campaign-suite lint-backend check examples snapshot
+.PHONY: install test bench bench-smoke perf-trajectory fault-suite backend-suite rebuild-suite campaign-suite rowcache-suite lint-backend check examples snapshot
 
 install:
 	pip install -e . --no-build-isolation
@@ -57,6 +57,17 @@ campaign-suite:
 	PYTHONPATH=src python -m pytest -x -q tests/test_run_loop_hardening.py tests/test_campaign.py tests/test_mode_matrix.py
 	PYTHONPATH=src python benchmarks/bench_campaign_smoke.py
 
+# Row-cache suite: the persistent row-energy memoization contract tests —
+# LRU/eviction/epoch-invalidation unit behaviour, packed-signature
+# injectivity fuzz, serial/parallel/campaign trajectory identity with the
+# cache on vs off (incl. cold-cache checkpoint resume), the batch
+# Fenwick-refresh equivalence above the old cap — then the row_cache
+# section of the kernel smoke benchmark (rebuild-phase speedup gate at
+# vacancy 0.02, digest identity).
+rowcache-suite:
+	PYTHONPATH=src python -m pytest -x -q tests/test_rowcache.py tests/test_propensity.py
+	PYTHONPATH=src python -m pytest -x -q benchmarks/bench_kernel_smoke.py::test_row_cache_is_faster_and_trajectory_identical
+
 # Lint: fail if a hot-path module under src/repro/{operators,nnp,core}
 # grows a new direct `import numpy` outside the shim + frozen exemptions.
 lint-backend:
@@ -64,7 +75,7 @@ lint-backend:
 
 # What CI runs: the backend-import lint, tier-1 tests, the kernel and
 # campaign smoke benchmarks (followed by the perf-trajectory diff against
-# the committed baselines), the rebuild-path suite, and the fault suite.
+# the committed baselines), the rebuild-path, row-cache, and fault suites.
 check:
 	$(MAKE) lint-backend
 	PYTHONPATH=src python -m pytest -x -q
@@ -72,6 +83,7 @@ check:
 	$(MAKE) campaign-suite
 	$(MAKE) perf-trajectory
 	$(MAKE) rebuild-suite
+	$(MAKE) rowcache-suite
 	$(MAKE) fault-suite
 
 examples:

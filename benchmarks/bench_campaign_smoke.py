@@ -10,8 +10,17 @@ below the ~1.5x a quiet runner shows) *while reproducing every replica's
 solo trajectory bit for bit* — the occupancy digests of the two modes must
 be identical, which this bench asserts before it trusts any timing.
 
-Sequential and shared rounds are interleaved and each mode keeps its best
-round, so runner-load drift hits both modes equally.  The numbers land in
+Both timed modes run with ``row_cache="off"`` so the speedup isolates what
+shared *batching* buys — the persistent row cache would otherwise absorb
+most of the GEMM work in both modes and blur the ratio.  A third
+interleaved variant (``shared`` with the campaign-wide row cache on)
+carries the cache's own acceptance gate: across an R=8 seed sweep the
+replicas revisit overwhelmingly the same local environments, so the shared
+cache must report a hit rate >= 0.9 — while replaying the same digests as
+both cache-off modes.
+
+Rounds of all three variants are interleaved and each keeps its best
+round, so runner-load drift hits everyone equally.  The numbers land in
 ``BENCH_campaign.json`` at the repo root, tracked across commits by
 ``benchmarks/check_perf_trajectory.py``.
 
@@ -43,6 +52,8 @@ ROUNDS = 3
 #: Aggregate events/sec of the shared mode over the sequential baseline.
 #: A quiet runner shows ~1.5x; 1.3 keeps the gate robust to noise.
 MIN_SPEEDUP = 1.3
+#: Campaign-wide row-cache hit rate across the R=8 seed sweep.
+MIN_ROW_CACHE_HIT_RATE = 0.9
 REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
 
 
@@ -64,14 +75,16 @@ def _nnp_potential() -> NNPotential:
     return model
 
 
-def _run_once(mode: str, potential, tet):
+def _run_once(mode: str, potential, tet, row_cache: str = "off"):
     """One full campaign in ``mode``; returns (seconds, results, campaign)."""
     factory = alloy_engine_factory(
         BOX, potential, tet, cu_fraction=0.05,
-        vacancy_fraction=VACANCY_FRACTION,
+        vacancy_fraction=VACANCY_FRACTION, row_cache=row_cache,
     )
     specs = seed_sweep(range(N_REPLICAS), n_steps=N_STEPS)
-    campaign = ReplicaCampaign(specs, factory, mode=mode)
+    campaign = ReplicaCampaign(
+        specs, factory, mode=mode, row_cache=row_cache
+    )
     t0 = time.perf_counter()
     results = campaign.run()
     return time.perf_counter() - t0, results, campaign
@@ -81,23 +94,47 @@ def run_campaign_smoke() -> dict:
     """Sequential vs shared campaign at R=8; writes BENCH_campaign.json."""
     tet = TripleEncoding(rcut=2.87)
     potential = _nnp_potential()
-    best = {"sequential": np.inf, "shared": np.inf}
+    #: (mode, row_cache) variants; "shared_cached" carries the cache gate.
+    variants = {
+        "sequential": ("sequential", "off"),
+        "shared": ("shared", "off"),
+        "shared_cached": ("shared", "auto"),
+    }
+    best = {name: np.inf for name in variants}
     digests = {}
     events = {}
     aggregate = {}
     for _ in range(ROUNDS):
-        for mode in ("sequential", "shared"):
-            seconds, results, campaign = _run_once(mode, potential, tet)
-            best[mode] = min(best[mode], seconds)
-            digests[mode] = [r.digest for r in results]
-            events[mode] = sum(r.executed for r in results)
-            aggregate[mode] = campaign.summary()
-    bitwise = digests["sequential"] == digests["shared"]
+        for name, (mode, row_cache) in variants.items():
+            seconds, results, campaign = _run_once(
+                mode, potential, tet, row_cache=row_cache
+            )
+            best[name] = min(best[name], seconds)
+            digests[name] = [r.digest for r in results]
+            events[name] = sum(r.executed for r in results)
+            aggregate[name] = campaign.summary()
+    bitwise = (
+        digests["sequential"] == digests["shared"] == digests["shared_cached"]
+    )
     eps = {
         mode: events[mode] / best[mode] for mode in ("sequential", "shared")
     }
     speedup = eps["shared"] / eps["sequential"]
     shared = aggregate["shared"]
+    cached = aggregate["shared_cached"]
+    row_cache = {
+        "hit_rate": cached.get("row_cache_hit_rate", 0.0),
+        "hits": int(cached.get("row_cache_hits", 0)),
+        "misses": int(cached.get("row_cache_misses", 0)),
+        "entries": int(cached.get("row_cache_entries", 0)),
+        "resident_bytes": int(cached.get("row_cache_bytes", 0)),
+        "cached_seconds": best["shared_cached"],
+        "cached_us_per_event": (
+            1e6 * best["shared_cached"] / events["shared_cached"]
+        ),
+        "min_hit_rate": MIN_ROW_CACHE_HIT_RATE,
+        "ok": cached.get("row_cache_hit_rate", 0.0) >= MIN_ROW_CACHE_HIT_RATE,
+    }
     report = {
         "benchmark": "campaign_smoke",
         "replicas": N_REPLICAS,
@@ -124,7 +161,8 @@ def run_campaign_smoke() -> dict:
             if shared["shared_batches"]
             else 0.0
         ),
-        "ok": bool(bitwise) and speedup >= MIN_SPEEDUP,
+        "row_cache": row_cache,
+        "ok": bool(bitwise) and speedup >= MIN_SPEEDUP and row_cache["ok"],
     }
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -138,6 +176,8 @@ def test_campaign_shared_mode_is_faster_and_bitwise():
     # single replica's per-step stale set could supply.
     assert report["mean_shared_batch"] > N_REPLICAS, report
     assert report["speedup"] >= MIN_SPEEDUP, report
+    # The campaign-wide cache must absorb the seed sweep's recurring rows.
+    assert report["row_cache"]["ok"], report["row_cache"]
 
 
 def main() -> int:
@@ -149,6 +189,12 @@ def main() -> int:
         f"{report['shared_events_per_s']:.0f} ev/s shared -> "
         f"speedup {report['speedup']:.2f} (min {MIN_SPEEDUP}), "
         f"bitwise_identical={report['bitwise_identical']}"
+    )
+    rc = report["row_cache"]
+    print(
+        f"shared row cache: hit rate {rc['hit_rate']:.3f} "
+        f"(min {rc['min_hit_rate']}), {rc['entries']} entries, "
+        f"{rc['cached_us_per_event']:.1f} us/event with the cache on"
     )
     if not report["ok"]:
         print("FAILED")

@@ -93,6 +93,12 @@ def tracked_metrics(report: dict) -> list:
                     f"rebuild_path.densities.{i}.phase_us_per_event.delta.{p}"
                     for p in phases["delta"]
                 )
+    # The cached miss path: total and rebuild-phase per-event cost with the
+    # persistent row-energy cache on (absent from pre-cache baselines, so
+    # the predates-the-baseline skip in compare() keeps history green).
+    if _dig(report, "row_cache") is not None:
+        metrics.append("row_cache.on_per_event_us")
+        metrics.append("row_cache.on_rebuild_us_per_event")
     # Per-backend per-event cost (the numpy entry is always present; torch
     # appears only where torch is importable, and the predates-the-baseline
     # skip in compare() keeps mixed environments green).
@@ -106,7 +112,10 @@ def tracked_metrics(report: dict) -> list:
 
 def campaign_metrics(report: dict) -> list:
     """Tracked per-event times of the campaign smoke benchmark."""
-    return ["sequential_us_per_event", "shared_us_per_event"]
+    metrics = ["sequential_us_per_event", "shared_us_per_event"]
+    if _dig(report, "row_cache") is not None:
+        metrics.append("row_cache.cached_us_per_event")
+    return metrics
 
 
 #: Every report the trajectory gate watches: (filename, metrics function).

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..constants import N_ELEMENTS
+from ..core.rowcache import ROW_ENTRY_BYTES
 from ..core.tet import TripleEncoding
 from ..potentials.tables import FeatureTable
 
@@ -72,6 +73,7 @@ def tensorkmc_memory_model(
     tet: TripleEncoding,
     table: FeatureTable | None = None,
     delta_snapshots: bool = True,
+    row_cache: int = 0,
 ) -> Dict[str, float]:
     """Bytes of the TensorKMC state for the same domain.
 
@@ -81,6 +83,13 @@ def tensorkmc_memory_model(
     live entry carries under ``rebuild_path="delta"`` (the engine default via
     ``"auto"``): the per-trial-state row-energy matrix plus the dirty-row
     mask.  Pass ``False`` for the ``rebuild_path="full"`` footprint.
+    ``row_cache`` charges the persistent row-energy memo by resident entry
+    count at :data:`~repro.core.rowcache.ROW_ENTRY_BYTES` per entry — the
+    same constant :meth:`RowEnergyCache.memory_bytes` reports, so the
+    analytic term is validated against live bytes like the snapshots are.
+    In a dilute alloy the distinct-environment count saturates at a tiny,
+    domain-independent value, so this term is O(1) in practice (and the
+    LRU byte budget makes it O(1) by construction).
     """
     entry_bytes = (
         tet.n_all * 8  # vet_ids (int64)
@@ -103,6 +112,7 @@ def tensorkmc_memory_model(
         "VAC_cache": float(n_vacancies) * entry_bytes,
         "TET_tables": float(tet_bytes),
         "feature_table": float(table.table.nbytes) if table is not None else 0.0,
+        "row_cache": float(row_cache) * ROW_ENTRY_BYTES,
     }
     report["total"] = sum(v for k, v in report.items() if k != "total")
     return report

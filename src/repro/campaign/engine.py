@@ -50,6 +50,11 @@ from ..constants import TEMPERATURE_RPV, VACANCY_CONCENTRATION
 from ..core.engine import SerialAKMCBase, TensorKMCEngine
 from ..core.kernel import NoMovesError
 from ..core.profiling import PhaseProfiler, merge_disjoint
+from ..core.rowcache import (
+    ROW_CACHE_MODES,
+    RowEnergyCache,
+    resolve_row_cache,
+)
 from ..core.vacancy_cache import BatchEntries
 from ..lattice import LatticeState
 
@@ -125,6 +130,8 @@ def alloy_engine_factory(
     vacancy_fraction: float = VACANCY_CONCENTRATION,
     backend=None,
     rebuild_path: str = "full",
+    row_cache: str = "auto",
+    row_cache_mb: Optional[float] = None,
 ) -> Callable[[ReplicaSpec], TensorKMCEngine]:
     """Engine builder matching the CLI's ``run`` construction per spec.
 
@@ -146,7 +153,8 @@ def alloy_engine_factory(
         return TensorKMCEngine(
             lattice, potential, tet, temperature=spec.temperature,
             rng=np.random.default_rng(spec.seed + 1), backend=backend,
-            rebuild_path=rebuild_path,
+            rebuild_path=rebuild_path, row_cache=row_cache,
+            row_cache_mb=row_cache_mb,
         )
 
     return build
@@ -215,6 +223,17 @@ class ReplicaCampaign:
         every in-flight replica's stale rows.  ``"sequential"``: each
         replica runs solo via :meth:`~repro.core.engine.SerialAKMCBase.run`
         with ``on_no_moves="stop"`` — the benchmark baseline.
+    row_cache / row_cache_mb:
+        Persistent row-energy memoization knobs (``"auto"``/``"on"``/
+        ``"off"`` and an optional MiB budget).  In shared mode every
+        admitted replica is attached to *one* campaign-wide
+        :class:`~repro.core.rowcache.RowEnergyCache` — a seed sweep's
+        replicas revisit the same dilute-matrix environments, and a
+        temperature ladder shares *energies* outright (rates differ, the
+        cached energies do not) — so the memo spans replicas and hot
+        swaps.  ``"off"`` detaches any factory-installed cache; in
+        sequential mode each engine keeps (or loses, under ``"off"``) its
+        own cache, preserving the solo-run baseline.
     """
 
     MODES = ("shared", "sequential")
@@ -225,6 +244,8 @@ class ReplicaCampaign:
         engine_factory: Callable[[ReplicaSpec], SerialAKMCBase],
         max_in_flight: Optional[int] = None,
         mode: str = "shared",
+        row_cache: str = "auto",
+        row_cache_mb: Optional[float] = None,
     ) -> None:
         specs = list(specs)
         if not specs:
@@ -234,6 +255,11 @@ class ReplicaCampaign:
         if mode not in self.MODES:
             raise ValueError(
                 f"unknown campaign mode {mode!r}; allowed: {self.MODES}"
+            )
+        if row_cache not in ROW_CACHE_MODES:
+            raise ValueError(
+                f"unknown row_cache mode {row_cache!r}; allowed modes: "
+                f"{ROW_CACHE_MODES}"
             )
         if max_in_flight is None:
             max_in_flight = len(specs)
@@ -253,6 +279,11 @@ class ReplicaCampaign:
         self.shared_rows = 0
         self.max_shared_batch = 0
         self._evaluator = None  # batch-compatibility reference
+        self.row_cache_mode = row_cache
+        self._row_cache_mb = row_cache_mb
+        #: The campaign-wide shared row-energy cache (shared mode only);
+        #: created lazily at first admission, once the potential is known.
+        self.row_cache: Optional[RowEnergyCache] = None
 
     # ------------------------------------------------------------------
     def run(self) -> List[ReplicaResult]:
@@ -263,18 +294,18 @@ class ReplicaCampaign:
 
     def summary(self) -> Dict[str, float]:
         """Aggregate campaign counters + phase timings (flat namespace)."""
-        return merge_disjoint(
-            {
-                "mode": self.mode,
-                "replicas": len(self.specs),
-                "rounds": self.rounds,
-                "admitted": self.admitted,
-                "shared_batches": self.shared_batches,
-                "shared_rows": self.shared_rows,
-                "max_shared_batch": self.max_shared_batch,
-            },
-            self.profiler.summary(),
-        )
+        out = {
+            "mode": self.mode,
+            "replicas": len(self.specs),
+            "rounds": self.rounds,
+            "admitted": self.admitted,
+            "shared_batches": self.shared_batches,
+            "shared_rows": self.shared_rows,
+            "max_shared_batch": self.max_shared_batch,
+        }
+        if self.row_cache is not None:
+            out.update(self.row_cache.summary())
+        return merge_disjoint(out, self.profiler.summary())
 
     # ------------------------------------------------------------------
     def _result(self, rep: _Replica) -> ReplicaResult:
@@ -302,6 +333,20 @@ class ReplicaCampaign:
                 f"replica {spec.name!r} is not batch-compatible with the "
                 "campaign (potential / element count / TET mismatch)"
             )
+        # One cache for the whole campaign: every admitted engine (and the
+        # shared `_evaluator` — it belongs to the first of them) consults
+        # the same memo, so environments seen by any replica are hits for
+        # all.  "off" detaches whatever the factory may have installed.
+        if resolve_row_cache(self.row_cache_mode, engine.potential):
+            if self.row_cache is None:
+                budget = (
+                    None if self._row_cache_mb is None
+                    else int(float(self._row_cache_mb) * 1024 * 1024)
+                )
+                self.row_cache = RowEnergyCache(max_bytes=budget)
+            engine.attach_row_cache(self.row_cache)
+        elif self.row_cache_mode == "off":
+            engine.attach_row_cache(None)
         self.admitted += 1
         return _Replica(index, spec, engine)
 
@@ -384,6 +429,8 @@ class ReplicaCampaign:
         for spec in self.specs:
             with self.profiler.phase("admit"):
                 engine = self.engine_factory(spec)
+                if self.row_cache_mode == "off":
+                    engine.attach_row_cache(None)
                 self.admitted += 1
             with self.profiler.phase("step"):
                 rep = _Replica(len(results), spec, engine)

@@ -28,6 +28,7 @@ from .analysis import analyse_precipitation
 from .constants import CU_CONCENTRATION, TEMPERATURE_RPV, VACANCY_CONCENTRATION
 from .core import TensorKMCEngine, TripleEncoding
 from .core.profiling import PHASES
+from .core.rowcache import ROW_CACHE_MODES
 from .io.snapshots import save_lattice
 from .io.xyz import write_xyz
 from .lattice import LatticeState
@@ -144,6 +145,13 @@ def _common_alloy_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--backend", type=str, default=None,
                    help="array backend for the hot path (numpy, torch; "
                         "default: $REPRO_BACKEND, then numpy)")
+    p.add_argument("--row-cache", choices=ROW_CACHE_MODES, default="auto",
+                   help="persistent row-energy memoization: auto enables "
+                        "it for row-invariant network potentials, on/off "
+                        "force it (bitwise-neutral either way)")
+    p.add_argument("--row-cache-mb", type=float, default=None,
+                   help="row-cache byte budget in MiB (LRU eviction past "
+                        "it; default: unbounded)")
 
 
 def _print_hot_path_summary(summary, events: int) -> None:
@@ -160,6 +168,17 @@ def _print_hot_path_summary(summary, events: int) -> None:
     for key in ("mean_selection_depth", "mean_batch_size"):
         if key in summary:
             print(f"{key} = {summary[key]:.3f}")
+    _print_row_cache_summary(summary)
+
+
+def _print_row_cache_summary(summary) -> None:
+    """Row-energy cache hit rate + resident size (when a cache is active)."""
+    if "row_cache_hit_rate" in summary:
+        print(f"row_cache_hit_rate = {summary['row_cache_hit_rate']:.4f}")
+        print(
+            f"row_cache_resident_mb = "
+            f"{summary.get('row_cache_bytes', 0) / (1024.0 * 1024.0):.3f}"
+        )
 
 
 def _make_lattice(args) -> LatticeState:
@@ -203,6 +222,8 @@ def _cmd_run(args) -> int:
             rng=np.random.default_rng(args.seed + 1),
             evaluation=args.evaluation,
             backend=args.backend,
+            row_cache=args.row_cache,
+            row_cache_mb=args.row_cache_mb,
         )
     engine.run(n_steps=args.steps)
     stats = analyse_precipitation(lattice, engine.time)
@@ -264,6 +285,7 @@ def _cmd_parallel(args) -> int:
             lattice, potential, tet, n_ranks=args.ranks,
             temperature=args.temperature, t_stop=args.t_stop, seed=args.seed,
             fault_plan=plan, backend=args.backend,
+            row_cache=args.row_cache, row_cache_mb=args.row_cache_mb,
         )
     before = sim.gather_global().species_counts().copy()
     recoveries = 0
@@ -321,10 +343,12 @@ def _cmd_campaign(args) -> int:
     vac = args.vacancies if args.vacancies is not None else VACANCY_CONCENTRATION
     factory = alloy_engine_factory(
         args.box, potential, tet, cu_fraction=args.cu, vacancy_fraction=vac,
-        backend=args.backend,
+        backend=args.backend, row_cache=args.row_cache,
+        row_cache_mb=args.row_cache_mb,
     )
     campaign = ReplicaCampaign(
         specs, factory, max_in_flight=args.max_in_flight, mode=args.mode,
+        row_cache=args.row_cache, row_cache_mb=args.row_cache_mb,
     )
     results = campaign.run()
     agg = campaign.summary()
@@ -334,6 +358,7 @@ def _cmd_campaign(args) -> int:
     print(f"shared_batches = {agg['shared_batches']}")
     print(f"shared_rows = {agg['shared_rows']}")
     print(f"max_shared_batch = {agg['max_shared_batch']}")
+    _print_row_cache_summary(agg)
     print(f"events = {sum(r.executed for r in results)}")
     for r in results:
         print(

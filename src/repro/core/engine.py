@@ -32,6 +32,7 @@ from .kernel import EventKernel, NoMovesError
 from .profiling import PhaseProfiler, merge_disjoint
 from .propensity import PropensityStore
 from .rates import RateModel, residence_time
+from .rowcache import RowEnergyCache, resolve_row_cache
 from .tet import TripleEncoding
 from .vacancy_cache import BatchEntries, CachedVacancySystem, VacancyCache
 from .vacancy_system import VacancySystemEvaluator
@@ -103,6 +104,18 @@ class SerialAKMCBase:
         ``"delta"`` demands the incremental path and raises when the
         prerequisites are missing.  Trajectories are bit-identical across
         the modes (see :mod:`repro.core.delta`).
+    row_cache:
+        ``"auto"`` (default) attaches a persistent
+        :class:`~repro.core.rowcache.RowEnergyCache` exactly where in-batch
+        row dedup turns on (row-invariant network potentials): unique-row
+        energies are memoized across batches and steps, so the rebuild
+        phase hash-looks-up recurring environments instead of re-running
+        the GEMM stack.  ``"on"`` forces attachment, ``"off"`` disables it.
+        Bitwise-neutral under ``batch_row_invariant`` — trajectories are
+        identical with the cache on or off.
+    row_cache_mb:
+        Optional resident-size budget in MiB for the row cache; the LRU
+        clock evicts past it.  ``None`` (default) means unbounded.
     backend:
         Array backend name/instance for the hot path (default: the
         ``REPRO_BACKEND`` environment variable, falling back to the NumPy
@@ -129,6 +142,8 @@ class SerialAKMCBase:
         ea0=None,
         backend=None,
         rebuild_path: str = "auto",
+        row_cache: str = "auto",
+        row_cache_mb: Optional[float] = None,
     ) -> None:
         if abs(lattice.a - tet.geometry.a) > 1e-12:
             raise ValueError("lattice constant mismatch between lattice and TET")
@@ -146,6 +161,10 @@ class SerialAKMCBase:
                 "batched" if getattr(potential, "batch_row_invariant", False)
                 else "scalar"
             )
+        # Validates the mode string (raising on typos) and decides whether
+        # this potential gets a cache under "auto".
+        row_cache_on = resolve_row_cache(row_cache, potential)
+        self.row_cache_mode = row_cache
         self.evaluation = evaluation
         self.batching = batching
         self.rebuild_path = rebuild_path
@@ -205,6 +224,13 @@ class SerialAKMCBase:
             self.kernel.patch_entries = rebuilder.patch_entries
         if rebuild_path != "auto":
             self.kernel.set_rebuild_path(rebuild_path)
+        self.row_cache: Optional[RowEnergyCache] = None
+        if row_cache_on:
+            budget = (
+                None if row_cache_mb is None
+                else int(float(row_cache_mb) * 1024 * 1024)
+            )
+            self.attach_row_cache(RowEnergyCache(max_bytes=budget))
         self.time = 0.0
         self.step_count = 0
         self.events: List[KMCEvent] = []
@@ -438,6 +464,18 @@ class SerialAKMCBase:
         :meth:`~repro.core.vacancy_system.VacancySystemEvaluator.attach_cost_ledger`.
         """
         return self.evaluator.attach_cost_ledger(ledger)
+
+    def attach_row_cache(self, cache):
+        """Install ``cache`` as the persistent row-energy memo.
+
+        Threads the cache into the evaluator (which consults it on every
+        dedup'd miss batch) and the kernel (which reports its counters);
+        the campaign uses this to swap every admitted replica onto one
+        shared cache.  Pass ``None`` to detach.  Returns the cache.
+        """
+        self.row_cache = cache
+        self.kernel.row_cache = cache
+        return self.evaluator.attach_row_cache(cache)
 
     # ------------------------------------------------------------------
     def total_propensity(self) -> float:

@@ -239,6 +239,19 @@ class FenwickPropensity(PropensityStore):
             self.tree[i] = total
             i += i & (-i)
 
+    #: Batch-refresh policy thresholds for :meth:`update_many`.  A batch
+    #: touching at least 1/``REBUILD_FRACTION`` of the tree's capacity is
+    #: cheaper to rebuild wholesale (one vectorized sweep); below that, the
+    #: host-side batch refresh pays one O(cap) tree/values copy up front,
+    #: which amortises once the batch touches at least
+    #: 1/``BATCH_REFRESH_FRACTION`` of the capacity (or the tree is small
+    #: enough — <= ``BATCH_REFRESH_MIN_CAP`` — for the copy to be noise).
+    #: All three strategies are bitwise identical, so the thresholds are
+    #: pure cost tuning.
+    REBUILD_FRACTION = 8
+    BATCH_REFRESH_FRACTION = 64
+    BATCH_REFRESH_MIN_CAP = 4096
+
     def update_many(self, slots, values) -> None:
         s, v = _checked_batch(slots, values, self.n)
         if s.size == 0:
@@ -248,12 +261,17 @@ class FenwickPropensity(PropensityStore):
         # Each node's sum is formed child-by-child in the same order the
         # scalar path uses, so either refresh strategy leaves the tree
         # bitwise identical to a sequence of scalar updates.
-        if s.size * 8 >= self._cap:
+        if s.size * self.REBUILD_FRACTION >= self._cap:
             self._rebuild()
-        elif self._cap <= 4096:
-            self._refresh_ancestors_batch(np.unique(s))
+            return
+        u = np.unique(s)
+        if (
+            self._cap <= self.BATCH_REFRESH_MIN_CAP
+            or u.size * self.BATCH_REFRESH_FRACTION >= self._cap
+        ):
+            self._refresh_ancestors_batch(u)
         else:
-            for slot in np.unique(s):  # ascending: children refresh first
+            for slot in u:  # ascending: children refresh first
                 self._refresh_ancestors(int(slot))
 
     def _refresh_ancestors_batch(self, slots: np.ndarray) -> None:

@@ -133,6 +133,8 @@ class VacancySystemEvaluator:
         self.dedup = "auto"
         # Optional Fig. 9 cost accounting (see attach_cost_ledger).
         self._ledger: "CostLedger | None" = None
+        # Optional persistent row-energy memoization (see attach_row_cache).
+        self._row_cache = None
         self._n_states = 1 + tet.N_DIRECTIONS
         # For the delta path: shell of VET site t (centre / each 1NN) in each
         # region site's neighbour list, or -1 when t is out of its range.
@@ -305,6 +307,79 @@ class VacancySystemEvaluator:
         self._ledger = ledger
         return ledger
 
+    # ------------------------------------------------------------------
+    # Persistent row-energy memoization
+    # ------------------------------------------------------------------
+    def attach_row_cache(self, cache):
+        """Memoize unique-row energies in ``cache`` from now on.
+
+        The cache (a :class:`~repro.core.rowcache.RowEnergyCache`) is
+        consulted wherever in-batch dedup runs: before each potential call
+        the unique rows' packed signatures are probed, only never-seen
+        rows go through the potential, and the fresh energies are inserted
+        for the next batch.  Soundness is the dedup contract itself —
+        ``batch_row_invariant`` guarantees a cached row's bits equal a
+        fresh evaluation's — so the cache changes *when* rows are
+        evaluated, never their values.  Pass ``None`` to detach.  Returns
+        the cache for chaining.
+        """
+        self._row_cache = cache
+        return cache
+
+    @property
+    def row_cache(self):
+        """The attached :class:`RowEnergyCache`, or ``None``."""
+        return self._row_cache
+
+    def _cached_unique_energies(self, packed, first, center_types, flat_counts):
+        """Energies of the unique rows, served from the row cache.
+
+        ``packed``/``first`` come from :meth:`_dedup_rows`; cached rows are
+        looked up by their packed signature, only the misses are evaluated
+        through the potential (one smaller GEMM stack), and the fresh
+        energies are inserted.  Assembly is pure scatter — no arithmetic
+        touches any value on the way through the cache — so the result is
+        bit-identical to evaluating every unique row fresh.
+        """
+        cache = self._row_cache
+        cache.sync(self.potential)
+        xp = self.xp
+        ukeys = xp.to_numpy(packed[first])
+        found, cached = cache.lookup(ukeys)
+        if found.all():
+            return xp.from_numpy(cached)
+        miss_idx = np.flatnonzero(~found)
+        miss_x = xp.from_numpy(miss_idx)
+        fresh = xp.to_numpy(
+            self._potential_energies(
+                center_types[first][miss_x], flat_counts[first][miss_x]
+            )
+        )
+        cache.insert(ukeys[miss_idx], fresh)
+        out = np.zeros(len(ukeys), dtype=fresh.dtype)
+        out[found] = cached[found].astype(fresh.dtype, copy=False)
+        out[miss_idx] = fresh
+        return xp.from_numpy(out)
+
+    def _unique_row_energies(self, dedup, center_types, flat_counts):
+        """Energies of the dedup'd unique rows, through the cache if attached.
+
+        ``dedup`` is a non-``None`` result of :meth:`_dedup_rows`.  The
+        cache is only consulted in the packed-int64 key domain (the wide
+        raw-bytes fallback reports ``packed=None``) — outside it the
+        unique rows are evaluated directly, exactly as before.
+        """
+        first, inverse, packed = dedup
+        if self._row_cache is not None and packed is not None:
+            energies = self._cached_unique_energies(
+                packed, first, center_types, flat_counts
+            )
+        else:
+            energies = self._potential_energies(
+                center_types[first], flat_counts[first]
+            )
+        return energies[inverse]
+
     def _charge_rate_eval(self, n_vets: int) -> None:
         if self._ledger is None or n_vets == 0:
             return
@@ -414,11 +489,14 @@ class VacancySystemEvaluator:
         whole shell-counts signature — then a row-invariant potential is
         guaranteed to produce bit-identical energies for both, so only the
         first occurrence needs evaluating.  Returns ``None`` (no dedup) for
-        potentials without that guarantee.
+        potentials without that guarantee, else ``(first, inverse, packed)``
+        where ``packed`` holds the per-row int64 signatures (the row
+        cache's content address) or ``None`` when the wide fallback keyed
+        the rows byte-wise instead.
 
         Rows whose values fit 8 bits pack into one int64 key per row (a
         typed sort is far cheaper than byte-wise comparisons); wider rows
-        fall back to a raw-bytes key.
+        fall back to a raw-bytes key over the exact integer values.
 
         The ``dedup`` policy gates the whole machinery: under ``"auto"``
         only network potentials (``network_channels``) pay for the unique
@@ -444,12 +522,17 @@ class VacancySystemEvaluator:
             for j in range(n_vals):
                 packed = (packed << 8) | ivals[:, j]
             first, inverse = self.xp.unique_first_inverse(packed)
+            return first, inverse, packed
         else:
             # The raw-bytes key relies on NumPy's void-dtype views; rows wide
-            # enough to land here are keyed host-side on any backend.
+            # enough to land here are keyed host-side on any backend.  Counts
+            # are exact small integers, so an int64 staging matrix keys them
+            # losslessly — a float32 one would collide beyond the 24-bit
+            # mantissa.  These keys never enter the row cache (``None``
+            # marks them out of the packed-int64 content-address domain).
             ct = self.xp.to_numpy(center_types)
             v = self.xp.to_numpy(vals)
-            wide = np.empty((n_rows, n_vals + 1), dtype=np.float32)
+            wide = np.empty((n_rows, n_vals + 1), dtype=np.int64)
             wide[:, 0] = ct
             wide[:, 1:] = v
             key = np.ascontiguousarray(wide).view(
@@ -458,7 +541,7 @@ class VacancySystemEvaluator:
             _, first, inverse = np.unique(
                 key, return_index=True, return_inverse=True
             )
-        return first, inverse
+        return first, inverse, None
 
     def evaluate_batch(self, vets: np.ndarray) -> StateEnergiesBatch:
         """Hop energetics of ``B`` vacancy systems in one fused pipeline.
@@ -512,10 +595,9 @@ class VacancySystemEvaluator:
         flat_counts = counts.reshape(-1, self.tet.n_shells, counts.shape[-1])
         dedup = self._dedup_rows(center_types, flat_counts)
         if dedup is not None:
-            first, inverse = dedup
-            energies = self._potential_energies(
-                center_types[first], flat_counts[first]
-            )[inverse].reshape(n_batch, self._n_states, n_region)
+            energies = self._unique_row_energies(
+                dedup, center_types, flat_counts
+            ).reshape(n_batch, self._n_states, n_region)
         else:
             energies = self._potential_energies(
                 center_types, flat_counts
@@ -666,10 +748,9 @@ class VacancySystemEvaluator:
         )
         dedup = self._dedup_rows(center_types, flat_counts)
         if dedup is not None:
-            first, inverse = dedup
-            energies = self._potential_energies(
-                center_types[first], flat_counts[first]
-            )[inverse]
+            energies = self._unique_row_energies(
+                dedup, center_types, flat_counts
+            )
         else:
             energies = self._potential_energies(center_types, flat_counts)
         return xp.to_numpy(energies).reshape(n_pairs, n_states)

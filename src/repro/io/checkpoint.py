@@ -90,7 +90,45 @@ def save_checkpoint(path: str, engine: SerialAKMCBase) -> None:
         rng_state=np.array([rng_state]),
         vacancy_slots=slots,
         free_order=np.array(engine.kernel.cache.free_slots, dtype=np.int64),
+        # Row-energy cache: the mode, byte budget (-1 = unbounded), and the
+        # monotonic counters persist; the cached *contents* deliberately do
+        # not — a resumed run rebuilds the memo from cold, and because every
+        # hit is bitwise equal to a fresh evaluation the continuation is
+        # bit-identical either way.
+        row_cache=np.array([getattr(engine, "row_cache_mode", "auto")]),
+        row_cache_budget=np.array(
+            [_row_cache_budget(getattr(engine, "row_cache", None))],
+            dtype=np.int64,
+        ),
+        row_cache_counters=_row_cache_counters(
+            getattr(engine, "row_cache", None)
+        ),
     )
+
+
+def _row_cache_budget(cache) -> int:
+    if cache is None or cache.max_bytes is None:
+        return -1
+    return int(cache.max_bytes)
+
+
+def _row_cache_counters(cache) -> np.ndarray:
+    if cache is None:
+        return np.zeros(3, dtype=np.int64)
+    return np.array(
+        [cache.hits, cache.misses, cache.evictions], dtype=np.int64
+    )
+
+
+def _restore_row_cache(cache, data) -> None:
+    """Resume a cold cache's budget and cumulative counters from ``data``."""
+    if cache is None:
+        return
+    if "row_cache_budget" in data.files:
+        budget = int(data["row_cache_budget"][0])
+        cache.max_bytes = None if budget < 0 else budget
+    if "row_cache_counters" in data.files:
+        cache.restore_counters(*(int(v) for v in data["row_cache_counters"]))
 
 
 def load_checkpoint(
@@ -130,6 +168,10 @@ def load_checkpoint(
     # Archives written before the batching mode was persisted resume under
     # "auto" (the old, mode-dropping behaviour, kept for compatibility).
     batching = str(data["batching"][0]) if "batching" in data.files else "auto"
+    # Same fallback pattern for archives predating the row cache.
+    row_cache = (
+        str(data["row_cache"][0]) if "row_cache" in data.files else "auto"
+    )
     engine = TensorKMCEngine(
         lattice,
         potential,
@@ -140,7 +182,9 @@ def load_checkpoint(
         evaluation=str(data["evaluation"][0]),
         batching=batching,
         backend=backend,
+        row_cache=row_cache,
     )
+    _restore_row_cache(engine.row_cache, data)
     engine.time = float(data["time"][0])
     engine.step_count = int(data["step_count"][0])
     # Restore the vacancy registry's slot order (it encodes event identity);
@@ -182,6 +226,11 @@ _CYCLE_FIELDS = (
     "hop_seconds",
     "invalidate_seconds",
     "exchange_seconds",
+    # Appended after the phase timings (append-only: old archives load
+    # with these three defaulting to 0 via the zip-stops-at-shortest rule).
+    "row_cache_hits",
+    "row_cache_misses",
+    "row_cache_evictions",
 )
 
 _COMM_FIELDS = ("messages_sent", "bytes_sent", "barriers", "collectives")
@@ -222,6 +271,16 @@ def save_parallel_checkpoint(path: str, sim) -> None:
             [[float(getattr(c, f)) for f in _CYCLE_FIELDS] for c in sim.cycles],
             dtype=np.float64,
         ).reshape(-1, len(_CYCLE_FIELDS)),
+        # Shared row-energy cache: mode/budget/counters persist, contents
+        # do not (cold rebuild is bit-identical; see the serial saver).
+        "row_cache": np.array([getattr(sim, "row_cache_mode", "auto")]),
+        "row_cache_budget": np.array(
+            [_row_cache_budget(getattr(sim, "row_cache", None))],
+            dtype=np.int64,
+        ),
+        "row_cache_counters": _row_cache_counters(
+            getattr(sim, "row_cache", None)
+        ),
     }
     for r, rank in enumerate(sim.ranks):
         keys = rank.kernel.cache.sites
@@ -279,6 +338,9 @@ def load_parallel_checkpoint(
     if tet is None:
         tet = TripleEncoding(rcut=float(data["rcut"][0]), a=a)
 
+    row_cache = (
+        str(data["row_cache"][0]) if "row_cache" in data.files else "auto"
+    )
     sim = SublatticeKMC(
         lattice,
         potential,
@@ -290,7 +352,9 @@ def load_parallel_checkpoint(
         sector_mode=str(data["sector_mode"][0]),
         fault_plan=fault_plan,
         backend=backend,
+        row_cache=row_cache,
     )
+    _restore_row_cache(sim.row_cache, data)
     sim.time = float(data["time"][0])
     sim.sector_index = int(data["sector_index"][0])
     sim.proximity_violations = int(data["proximity_violations"][0])

@@ -107,6 +107,9 @@ class NNPotential(CountsPotential):
         self._ref_padded = np.concatenate(
             [self.reference_energies.astype(np.float64), [0.0]]
         )
+        # New scaler == new energy function: bump the parameter epoch so
+        # persistent row-energy caches drop values produced by the old one.
+        self.params_epoch = getattr(self, "params_epoch", 0) + 1
         self._stage_standardisation()
 
     def _stage_standardisation(self) -> None:

@@ -35,6 +35,7 @@ from ..core.delta import DeltaRebuilder
 from ..core.kernel import EventKernel, NoMovesError
 from ..core.profiling import PHASES, PhaseProfiler, merge_disjoint
 from ..core.rates import RateModel, residence_time
+from ..core.rowcache import RowEnergyCache, resolve_row_cache
 from ..core.tet import TripleEncoding
 from ..core.vacancy_system import VacancySystemEvaluator
 from ..lattice.domain import LocalWindow
@@ -69,6 +70,10 @@ class CycleStats:
     #: Batched miss-path deltas: fused build calls and rows they produced.
     rate_batches: int = 0
     batched_rows: int = 0
+    #: Row-energy cache deltas (the shared persistent memo, when enabled).
+    row_cache_hits: int = 0
+    row_cache_misses: int = 0
+    row_cache_evictions: int = 0
     #: Per-phase wall time this cycle (summed over ranks + the exchange
     #: block), from the rank/world :class:`~repro.core.profiling.PhaseProfiler`s.
     rebuild_seconds: float = 0.0
@@ -387,6 +392,14 @@ class SublatticeKMC:
         ``"auto"`` the incremental path switches on whenever the potential
         is ``batch_row_invariant``; all three modes produce bit-identical
         trajectories.
+    row_cache / row_cache_mb:
+        Persistent row-energy memoization knobs (``"auto"``/``"on"``/
+        ``"off"`` and an optional MiB budget), as for the serial engines.
+        The ranks share one evaluator, so a single
+        :class:`~repro.core.rowcache.RowEnergyCache` spans every rank's
+        miss path; its counters are merged once at the simulation level
+        (rank kernels report zeros) and surfaced through
+        :class:`CycleStats` / :meth:`summary`.
     """
 
     def __init__(
@@ -404,6 +417,8 @@ class SublatticeKMC:
         fault_plan: Optional[FaultPlan] = None,
         backend=None,
         rebuild_path: str = "auto",
+        row_cache: str = "auto",
+        row_cache_mb: Optional[float] = None,
     ) -> None:
         if sector_mode not in ("sublattice", "naive"):
             raise ValueError(f"unknown sector_mode {sector_mode!r}")
@@ -432,6 +447,20 @@ class SublatticeKMC:
                 f"{evaluator.vacancy_code} (n_elements mismatch)"
             )
         rate_model = RateModel(temperature, ea0=ea0)
+        # One shared cache across all ranks (they share the evaluator); the
+        # rank kernels are left without a row_cache reference on purpose —
+        # `_kernel_counters` sums per-rank counters, so the shared cache's
+        # counters are merged exactly once at the simulation level instead.
+        self.row_cache_mode = row_cache
+        self.row_cache: Optional[RowEnergyCache] = None
+        if resolve_row_cache(row_cache, potential):
+            budget = (
+                None if row_cache_mb is None
+                else int(float(row_cache_mb) * 1024 * 1024)
+            )
+            self.row_cache = evaluator.attach_row_cache(
+                RowEnergyCache(max_bytes=budget)
+            )
 
         occupancy4d = lattice.occupancy.reshape(2, *lattice.shape)
         self.ranks: List[RankState] = []
@@ -477,6 +506,11 @@ class SublatticeKMC:
         totals: Dict[str, int] = {}
         for rank in self.ranks:
             for key, value in rank.kernel.counters().items():
+                totals[key] = totals.get(key, 0) + int(value)
+        if self.row_cache is not None:
+            # The cache is shared, not per-rank: merge its counters once
+            # (the rank kernels all reported zeros for these keys).
+            for key, value in self.row_cache.counters().items():
                 totals[key] = totals.get(key, 0) + int(value)
         return totals
 
@@ -575,6 +609,9 @@ class SublatticeKMC:
                     "selection_depth",
                     "rate_batches",
                     "batched_rows",
+                    "row_cache_hits",
+                    "row_cache_misses",
+                    "row_cache_evictions",
                 )
             },
             **{
@@ -614,6 +651,10 @@ class SublatticeKMC:
             if all(r.kernel.delta_active() for r in self.ranks)
             else "full"
         )
+        if self.row_cache is not None:
+            out["row_cache_hit_rate"] = self.row_cache.hit_rate
+            out["row_cache_entries"] = len(self.row_cache)
+            out["row_cache_bytes"] = self.row_cache.memory_bytes()
         phases = self._phase_totals()
         # Same no-silent-overwrite contract as the serial summary: the
         # counter namespace and the phase-timing namespace must stay

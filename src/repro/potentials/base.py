@@ -51,6 +51,14 @@ class CountsPotential(ABC):
     #: then keep the scalar miss path unless batching is forced.
     batch_row_invariant: bool = True
 
+    #: Monotonic parameter-identity epoch.  Implementations whose energy
+    #: function can change after construction (weight updates, a new
+    #: standardisation) bump this on every change; persistent caches keyed
+    #: on the potential (:class:`~repro.core.rowcache.RowEnergyCache`)
+    #: compare it to detect that cached energies have gone stale.  Frozen
+    #: potentials (the EAM tables) may leave the class default.
+    params_epoch: int = 0
+
     #: Array backend the potential's buffers live on, or ``None`` meaning
     #: NumPy-resident (the default for tabulated/EAM potentials, whose
     #: reductions run host-side).  Evaluators consult this to convert

@@ -23,6 +23,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train"])
 
+    def test_row_cache_defaults_and_validation(self, capsys):
+        for command in ("run", "parallel", "campaign"):
+            args = build_parser().parse_args([command])
+            assert args.row_cache == "auto"
+            assert args.row_cache_mb is None
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--row-cache", "maybe"])
+        # argparse's rejection must list the allowed values.
+        err = capsys.readouterr().err
+        assert "'auto', 'on', 'off'" in err
+
 
 class TestRunCommand:
     def test_run_prints_summary(self, capsys, tmp_path):
@@ -48,6 +59,16 @@ class TestRunCommand:
         ])
         assert code == 0
         assert "events = 10" in capsys.readouterr().out
+
+    def test_run_reports_row_cache(self, capsys):
+        code = main([
+            "run", "--box", "8", "--steps", "10", "--temperature", "800",
+            "--row-cache", "on", "--row-cache-mb", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "row_cache_hit_rate = " in out
+        assert "row_cache_resident_mb = " in out
 
 
 class TestParallelCommand:

@@ -59,13 +59,13 @@ def _skip_invalid(rebuild_path, hot_path):
         pytest.skip("the delta rebuild path requires the vectorized hot path")
 
 
-def _make_engine(tet, pot, backend, rebuild_path, batching, hot_path):
+def _make_engine(tet, pot, backend, rebuild_path, batching, hot_path, **kw):
     lattice = LatticeState((8, 8, 8))
     lattice.randomize_alloy(np.random.default_rng(9), 0.05, 0.004)
     engine = TensorKMCEngine(
         lattice, pot, tet, temperature=900.0,
         rng=np.random.default_rng(10), backend=backend,
-        rebuild_path=rebuild_path, batching=batching,
+        rebuild_path=rebuild_path, batching=batching, **kw,
     )
     if hot_path != "vectorized":
         engine.kernel.set_hot_path(hot_path)
@@ -129,3 +129,44 @@ class TestModeMatrix:
             mode="shared",
         ).run()
         assert (results[0].digest, results[0].time) == reference
+
+
+class TestRowCacheJoinsTheMatrix:
+    """The persistent row cache is bitwise inert in every mode combo.
+
+    Each combination runs under the NNP (the cache's ``auto`` target) with
+    a 16-entry byte budget — far below the working set, so hits, evictions
+    and re-inserts all cycle continuously — and must replay the exact
+    digest + clock of its own ``row_cache="off"`` twin.  Torch rows compare
+    within the torch group like the main matrix does.
+    """
+
+    #: 16 entries of 16 B, expressed in the CLI's MB unit.
+    TINY_MB = 16 * 16 / (1024.0 * 1024.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("hot_path", HOT_PATHS)
+    @pytest.mark.parametrize("rebuild_path,batching", REBUILD_BATCHING)
+    def test_cache_cycling_is_bitwise_inert(
+        self, tet_small, nnp_small, backend, hot_path, rebuild_path,
+        batching,
+    ):
+        _skip_invalid(rebuild_path, hot_path)
+        off = _make_engine(
+            tet_small, nnp_small, backend, rebuild_path, batching, hot_path,
+            row_cache="off",
+        )
+        off.run(n_steps=N_STEPS, on_no_moves="stop")
+        on = _make_engine(
+            tet_small, nnp_small, backend, rebuild_path, batching, hot_path,
+            row_cache="on", row_cache_mb=self.TINY_MB,
+        )
+        on.run(n_steps=N_STEPS, on_no_moves="stop")
+        assert occupancy_digest(on.lattice) == occupancy_digest(off.lattice)
+        assert on.time == off.time
+        counters = on.kernel.counters()
+        if batching != "scalar":
+            # Scalar batching evaluates states one row at a time and never
+            # enters the batched dedup path, so the cache is never probed
+            # there; every batched combo must actually exercise it.
+            assert counters["row_cache_hits"] > 0

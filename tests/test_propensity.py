@@ -200,6 +200,72 @@ class TestUpdateMany:
         assert batch_fen.total == seq_fen.total
 
 
+class TestUpdateManyAboveLegacyCap:
+    """Batch updates on trees larger than the old hardcoded 4096 cap.
+
+    ``update_many`` used to route every capacity above 4096 through the
+    per-slot scalar loop; the touched-fraction heuristic now picks between
+    scalar refresh, the host-side batch ancestor refresh, and a full
+    rebuild.  All three must stay bitwise identical to sequential updates
+    (they perform the same additions in the same order), so each branch is
+    pinned here on an 8192-capacity tree.
+    """
+
+    N = 8192
+
+    def _pair(self):
+        rng = np.random.default_rng(17)
+        values = rng.uniform(0.0, 1e3, self.N)
+        batch = FenwickPropensity(self.N)
+        seq = FenwickPropensity(self.N)
+        batch.update_many(np.arange(self.N), values)  # rebuild-branch fill
+        for i, v in enumerate(values):
+            seq.update(i, float(v))
+        return batch, seq
+
+    def _assert_branch(self, n_unique, expect):
+        batch, seq = self._pair()
+        assert batch._cap == self.N > FenwickPropensity.BATCH_REFRESH_MIN_CAP
+        rng = np.random.default_rng(23)
+        slots = rng.choice(self.N, size=n_unique, replace=False)
+        news = rng.uniform(0.0, 1e3, n_unique)
+        # Pin which heuristic branch this batch lands in.
+        s = np.asarray(slots)
+        if expect == "rebuild":
+            assert s.size * batch.REBUILD_FRACTION >= batch._cap
+        elif expect == "batched":
+            assert s.size * batch.REBUILD_FRACTION < batch._cap
+            assert s.size * batch.BATCH_REFRESH_FRACTION >= batch._cap
+        else:
+            assert s.size * batch.BATCH_REFRESH_FRACTION < batch._cap
+        batch.update_many(slots, news)
+        for slot, v in zip(slots, news):
+            seq.update(int(slot), float(v))
+        assert np.array_equal(batch.values, seq.values)
+        assert np.array_equal(batch.tree, seq.tree)
+        assert batch.total == seq.total
+
+    def test_sparse_batch_uses_scalar_loop_bitwise(self):
+        self._assert_branch(50, "scalar")
+
+    def test_mid_batch_uses_ancestor_refresh_bitwise(self):
+        self._assert_branch(400, "batched")
+
+    def test_dense_batch_uses_rebuild_bitwise(self):
+        self._assert_branch(2048, "rebuild")
+
+    def test_sample_draws_agree_after_large_batch(self):
+        batch, seq = self._pair()
+        slots = np.random.default_rng(29).choice(self.N, 400, replace=False)
+        batch.update_many(slots, np.zeros(len(slots)))
+        for slot in slots:
+            seq.update(int(slot), 0.0)
+        for frac in (0.0, 0.25, 0.5, 0.999999):
+            assert batch.select(frac * batch.total) == seq.select(
+                frac * seq.total
+            )
+
+
 class TestHistoryIndependence:
     """The tree must be a pure function of the values (checkpoint-exactness)."""
 

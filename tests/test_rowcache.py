@@ -1,0 +1,460 @@
+"""Persistent row-energy cache: unit behaviour and bit-exact trajectories.
+
+The :class:`~repro.core.rowcache.RowEnergyCache` memoizes unique-row
+energies across batches under the same ``batch_row_invariant`` contract
+that licenses in-batch dedup, so the observable guarantee is absolute:
+every fixed-seed trajectory (serial, parallel, campaign, resumed from a
+checkpoint) is bit-identical with the cache on and off — including when a
+tiny byte budget forces constant evict/re-insert cycling.  The packed
+int64 signature is the content address, so its injectivity over the
+admissible domain (values < 256, at most 7 channels) is fuzzed here too.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline.memory_model import tensorkmc_memory_model
+from repro.campaign import ReplicaCampaign, ReplicaSpec, occupancy_digest
+from repro.core.engine import TensorKMCEngine
+from repro.core.rowcache import (
+    ROW_CACHE_MODES,
+    ROW_ENTRY_BYTES,
+    RowEnergyCache,
+    resolve_row_cache,
+)
+from repro.core.vacancy_system import VacancySystemEvaluator
+from repro.io import (
+    load_checkpoint,
+    load_parallel_checkpoint,
+    save_checkpoint,
+    save_parallel_checkpoint,
+)
+from repro.lattice import LatticeState
+from repro.parallel import SublatticeKMC
+
+
+def _torch_available() -> bool:
+    try:
+        import torch  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+needs_torch = pytest.mark.skipif(
+    not _torch_available(), reason="torch not importable in this environment"
+)
+
+BACKENDS = [
+    pytest.param("numpy", id="numpy"),
+    pytest.param("torch", id="torch", marks=needs_torch),
+]
+
+
+# ---------------------------------------------------------------------------
+# Unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestRowEnergyCacheUnit:
+    def test_roundtrip_is_bit_exact(self):
+        cache = RowEnergyCache()
+        for dtype in (np.float32, np.float64):
+            cache.clear()
+            keys = np.array([3, 7, 11], dtype=np.int64)
+            values = np.array(
+                [0.1, -4.000000001, np.pi], dtype=dtype
+            )
+            cache.insert(keys, values)
+            found, got = cache.lookup(keys)
+            assert found.all()
+            assert got.dtype == values.dtype
+            # Bit-exact through the Python-float staging, not just close.
+            assert np.array_equal(
+                got.view(np.uint8), values.view(np.uint8)
+            )
+
+    def test_lookup_counts_hits_and_misses(self):
+        cache = RowEnergyCache()
+        cache.insert(np.array([1, 2]), np.array([0.5, 1.5]))
+        found, _ = cache.lookup(np.array([1, 2, 3]))
+        assert found.tolist() == [True, True, False]
+        assert (cache.hits, cache.misses) == (2, 1)
+        assert cache.hit_rate == pytest.approx(2.0 / 3.0)
+
+    def test_lru_eviction_order(self):
+        # Budget for exactly two entries; touching key 1 must save it.
+        cache = RowEnergyCache(max_bytes=2 * ROW_ENTRY_BYTES)
+        cache.insert(np.array([1, 2]), np.array([1.0, 2.0]))
+        cache.lookup(np.array([1]))  # key 1 is now hottest
+        cache.insert(np.array([3]), np.array([3.0]))
+        assert cache.evictions == 1
+        found, _ = cache.lookup(np.array([1, 2, 3]))
+        assert found.tolist() == [True, False, True]
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(ValueError, match="cannot hold a single"):
+            RowEnergyCache(max_bytes=ROW_ENTRY_BYTES - 1)
+
+    def test_sync_invalidates_on_epoch_change(self, nnp_small):
+        cache = RowEnergyCache()
+        cache.sync(nnp_small)
+        cache.insert(np.array([1]), np.array([1.0]))
+        cache.lookup(np.array([1]))
+        assert len(cache) == 1
+        # Same potential, same epoch: contents survive.
+        cache.sync(nnp_small)
+        assert len(cache) == 1
+        # A weight/standardisation update bumps the epoch: contents are
+        # stale energies of a *different* function and must be dropped —
+        # but the counters are monotonic work totals and persist.
+        nnp_small.set_standardisation(
+            feature_mean=nnp_small.feature_mean,
+            feature_std=nnp_small.feature_std,
+            reference_energies=nnp_small.reference_energies,
+            energy_scale=nnp_small.energy_scale,
+        )
+        cache.sync(nnp_small)
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_restore_counters(self):
+        cache = RowEnergyCache()
+        cache.restore_counters(10, 4, 2)
+        assert cache.counters() == {
+            "row_cache_hits": 10,
+            "row_cache_misses": 4,
+            "row_cache_evictions": 2,
+        }
+        assert len(cache) == 0  # contents stay cold
+
+    def test_memory_bytes_matches_analytic_model(self, tet_small):
+        cache = RowEnergyCache()
+        cache.insert(np.arange(37), np.arange(37, dtype=np.float64))
+        report = tensorkmc_memory_model(
+            n_sites=1024, n_vacancies=4, tet=tet_small, row_cache=len(cache)
+        )
+        assert report["row_cache"] == cache.memory_bytes()
+        assert cache.memory_bytes() == 37 * ROW_ENTRY_BYTES
+
+    def test_summary_keys(self):
+        cache = RowEnergyCache()
+        summary = cache.summary()
+        for key in (
+            "row_cache_hits", "row_cache_misses", "row_cache_evictions",
+            "row_cache_hit_rate", "row_cache_entries", "row_cache_bytes",
+        ):
+            assert key in summary
+
+
+class TestResolveRowCache:
+    def test_unknown_mode_lists_allowed(self, eam_small):
+        with pytest.raises(ValueError) as err:
+            resolve_row_cache("sometimes", eam_small)
+        for mode in ROW_CACHE_MODES:
+            assert mode in str(err.value)
+
+    def test_auto_gates_like_dedup(self, eam_small, nnp_small):
+        assert resolve_row_cache("auto", nnp_small) is True
+        assert resolve_row_cache("auto", eam_small) is False
+        assert resolve_row_cache("on", eam_small) is True
+        assert resolve_row_cache("off", nnp_small) is False
+
+    def test_engine_knob_validates_eagerly(self, tet_small, eam_small):
+        lattice = LatticeState((8, 8, 8))
+        lattice.randomize_alloy(np.random.default_rng(1), 0.05, 0.003)
+        with pytest.raises(ValueError, match="allowed modes"):
+            TensorKMCEngine(
+                lattice, eam_small, tet_small, temperature=900.0,
+                rng=np.random.default_rng(2), row_cache="maybe",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Packed-signature injectivity (the content address must not collide)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def evaluator(tet_small, nnp_small):
+    """A dedup-enabled evaluator whose ``_dedup_rows`` we probe directly."""
+    return VacancySystemEvaluator(tet_small, nnp_small)
+
+
+admissible_row = st.tuples(
+    st.integers(min_value=0, max_value=255),  # centre species byte
+    st.lists(
+        st.integers(min_value=0, max_value=255), min_size=1, max_size=7
+    ),
+)
+
+
+class TestPackedSignature:
+    @settings(max_examples=200, deadline=None)
+    @given(st.data())
+    def test_injective_over_admissible_domain(self, evaluator, data):
+        """Distinct rows -> distinct packed keys (and vice versa).
+
+        The admissible domain of the one-int64 packing is values < 256
+        over at most 7 channels plus the centre byte; within it the key
+        is a bijection onto 8-byte strings, so the unique-row count seen
+        by dedup (and the cache) equals the true distinct-row count.
+        """
+        n_vals = data.draw(st.integers(min_value=1, max_value=7))
+        rows = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=255),
+                    st.lists(
+                        st.integers(min_value=0, max_value=255),
+                        min_size=n_vals, max_size=n_vals,
+                    ),
+                ),
+                min_size=1, max_size=24,
+            )
+        )
+        center = np.array([r[0] for r in rows], dtype=np.int64)
+        counts = np.array([r[1] for r in rows], dtype=np.float32)
+        first, inverse, packed = evaluator._dedup_rows(center, counts)
+        assert packed is not None
+        truth = {(r[0], tuple(r[1])) for r in rows}
+        keys = evaluator.xp.to_numpy(packed)
+        assert len(np.unique(keys)) == len(truth)
+        # first/inverse must reconstruct the exact rows.
+        assert np.array_equal(keys[first][inverse], keys)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_wide_fallback_keys_are_integer_exact(
+        self, tet_small, nnp_small, backend
+    ):
+        """Regression: >7-channel rows used a float32 staging matrix whose
+        24-bit mantissa collapsed distinct large counts onto one key."""
+        ev = VacancySystemEvaluator(tet_small, nnp_small, backend=backend)
+        center = ev.xp.from_numpy(np.zeros(2, dtype=np.int64))
+        wide = np.zeros((2, 8), dtype=np.float64)  # 8 channels -> fallback
+        wide[0, 0] = 2.0**24
+        wide[1, 0] = 2.0**24 + 1  # float32(2**24 + 1) == float32(2**24)
+        first, inverse, packed = ev._dedup_rows(
+            center, ev.xp.from_numpy(wide)
+        )
+        assert packed is None  # out of the packed content-address domain
+        assert len(first) == 2  # the two rows must NOT collapse
+        assert inverse[0] != inverse[1]
+
+
+# ---------------------------------------------------------------------------
+# Trajectory bit-identity: serial / parallel / campaign / resume
+# ---------------------------------------------------------------------------
+
+N_STEPS = 40
+
+
+def _serial_engine(tet, pot, **kw):
+    lattice = LatticeState((8, 8, 8))
+    lattice.randomize_alloy(np.random.default_rng(9), 0.05, 0.004)
+    return TensorKMCEngine(
+        lattice, pot, tet, temperature=900.0,
+        rng=np.random.default_rng(10), **kw,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_off(tet_small, nnp_small):
+    """Digest + clock of the cache-off NNP run every variant must hit."""
+    engine = _serial_engine(tet_small, nnp_small, row_cache="off")
+    assert engine.row_cache is None
+    engine.run(n_steps=N_STEPS, on_no_moves="stop")
+    return occupancy_digest(engine.lattice), engine.time
+
+
+class TestSerialTrajectory:
+    def test_cache_on_is_bit_identical_and_hits(
+        self, tet_small, nnp_small, serial_off
+    ):
+        engine = _serial_engine(tet_small, nnp_small)  # auto -> on for NNP
+        assert engine.row_cache is not None
+        engine.run(n_steps=N_STEPS, on_no_moves="stop")
+        assert (occupancy_digest(engine.lattice), engine.time) == serial_off
+        assert engine.row_cache.hits > 0
+        summary = engine.summary()
+        assert summary["row_cache_hit_rate"] > 0.0
+        assert summary["row_cache_bytes"] == engine.row_cache.memory_bytes()
+
+    def test_evict_reinsert_cycling_stays_identical(
+        self, tet_small, nnp_small, serial_off
+    ):
+        # A 16-entry budget far below the working set forces continuous
+        # evict/re-insert churn; the trajectory must not notice.
+        engine = _serial_engine(
+            tet_small, nnp_small, row_cache="on",
+            row_cache_mb=16 * ROW_ENTRY_BYTES / (1024.0 * 1024.0),
+        )
+        assert engine.row_cache.max_bytes == 16 * ROW_ENTRY_BYTES
+        engine.run(n_steps=N_STEPS, on_no_moves="stop")
+        assert (occupancy_digest(engine.lattice), engine.time) == serial_off
+        assert engine.row_cache.evictions > 0
+        assert len(engine.row_cache) <= 16
+
+    def test_on_mode_with_table_potential_is_inert(
+        self, tet_small, eam_small
+    ):
+        """``on`` attaches a cache for a non-network potential, but dedup
+        never runs so the cache is never consulted — same permissive
+        semantics as ``dedup="always"``; the trajectory is unaffected."""
+        ref = _serial_engine(tet_small, eam_small, row_cache="off")
+        ref.run(n_steps=N_STEPS, on_no_moves="stop")
+        engine = _serial_engine(tet_small, eam_small, row_cache="on")
+        assert engine.row_cache is not None
+        engine.run(n_steps=N_STEPS, on_no_moves="stop")
+        assert occupancy_digest(engine.lattice) == occupancy_digest(
+            ref.lattice
+        )
+        assert engine.time == ref.time
+        assert (engine.row_cache.hits, engine.row_cache.misses) == (0, 0)
+
+    def test_checkpoint_resume_is_cold_but_counters_persist(
+        self, tmp_path, tet_small, nnp_small, serial_off
+    ):
+        path = str(tmp_path / "rc.npz")
+        interrupted = _serial_engine(tet_small, nnp_small, row_cache="on")
+        interrupted.run(n_steps=N_STEPS // 2, on_no_moves="stop")
+        resident = len(interrupted.row_cache)
+        counters = interrupted.row_cache.counters()
+        assert resident > 0
+        save_checkpoint(path, interrupted)
+        resumed = load_checkpoint(path, nnp_small, tet=tet_small)
+        # Contents are deliberately not serialised: the restart is cold...
+        assert resumed.row_cache is not None
+        assert len(resumed.row_cache) == 0
+        # ...but the monotonic counters carry over.
+        assert resumed.row_cache.counters() == counters
+        resumed.run(n_steps=N_STEPS - N_STEPS // 2, on_no_moves="stop")
+        # Cold cache after restart rebuilds bit-identically.
+        assert (occupancy_digest(resumed.lattice), resumed.time) == serial_off
+
+    def test_checkpoint_round_trips_mode_and_budget(
+        self, tmp_path, tet_small, nnp_small
+    ):
+        engine = _serial_engine(
+            tet_small, nnp_small, row_cache="on", row_cache_mb=0.5
+        )
+        engine.run(n_steps=5, on_no_moves="stop")
+        path = str(tmp_path / "rc2.npz")
+        save_checkpoint(path, engine)
+        resumed = load_checkpoint(path, nnp_small, tet=tet_small)
+        assert resumed.row_cache_mode == "on"
+        assert resumed.row_cache.max_bytes == engine.row_cache.max_bytes
+
+
+def _parallel_sim(tet, pot, **kw):
+    lattice = LatticeState((16, 16, 16))
+    lattice.randomize_alloy(np.random.default_rng(3), 0.05, 0.003)
+    return SublatticeKMC(
+        lattice, pot, tet, n_ranks=4, temperature=900.0,
+        t_stop=2e-10, seed=5, **kw,
+    )
+
+
+class TestParallelTrajectory:
+    N_CYCLES = 4
+
+    def _digest(self, sim):
+        return occupancy_digest(sim.gather_global()), sim.time
+
+    def test_cache_on_is_bit_identical(self, tet_small, nnp_small):
+        off = _parallel_sim(tet_small, nnp_small, row_cache="off")
+        assert off.row_cache is None
+        on = _parallel_sim(tet_small, nnp_small)  # auto -> on
+        assert on.row_cache is not None
+        for _ in range(self.N_CYCLES):
+            off.cycle()
+            on.cycle()
+        assert self._digest(on) == self._digest(off)
+        assert on.row_cache.hits > 0
+        summary = on.summary()
+        assert summary["row_cache_hit_rate"] > 0.0
+
+    def test_cycle_stats_count_shared_cache_once(self, tet_small, nnp_small):
+        """Rank kernels share one cache; the per-cycle deltas must merge
+        its counters exactly once, so summed stats equal the totals."""
+        sim = _parallel_sim(tet_small, nnp_small)
+        for _ in range(self.N_CYCLES):
+            sim.cycle()
+        hits = sum(c.row_cache_hits for c in sim.cycles)
+        misses = sum(c.row_cache_misses for c in sim.cycles)
+        assert (hits, misses) == (sim.row_cache.hits, sim.row_cache.misses)
+
+    def test_parallel_checkpoint_resume_is_cold_and_identical(
+        self, tmp_path, tet_small, nnp_small
+    ):
+        ref = _parallel_sim(tet_small, nnp_small, row_cache="off")
+        for _ in range(self.N_CYCLES):
+            ref.cycle()
+
+        sim = _parallel_sim(tet_small, nnp_small, row_cache="on")
+        for _ in range(self.N_CYCLES // 2):
+            sim.cycle()
+        counters = sim.row_cache.counters()
+        path = str(tmp_path / "par.npz")
+        save_parallel_checkpoint(path, sim)
+        resumed = load_parallel_checkpoint(path, nnp_small, tet=tet_small)
+        assert resumed.row_cache_mode == "on"
+        assert len(resumed.row_cache) == 0  # cold restart
+        assert resumed.row_cache.counters() == counters
+        for _ in range(self.N_CYCLES - self.N_CYCLES // 2):
+            resumed.cycle()
+        assert self._digest(resumed) == self._digest(ref)
+
+
+class TestCampaignSharedCache:
+    SPECS = [
+        ReplicaSpec("r0", seed=0, n_steps=N_STEPS),
+        ReplicaSpec("r1", seed=1, n_steps=N_STEPS),
+        ReplicaSpec("r2", seed=2, n_steps=N_STEPS),
+    ]
+
+    def _factory(self, tet, pot):
+        def factory(spec):
+            lattice = LatticeState((8, 8, 8))
+            lattice.randomize_alloy(
+                np.random.default_rng(9 + spec.seed), 0.05, 0.004
+            )
+            return TensorKMCEngine(
+                lattice, pot, tet, temperature=900.0,
+                rng=np.random.default_rng(10 + spec.seed),
+                row_cache="off",  # campaign owns the shared cache
+            )
+        return factory
+
+    def _run(self, tet, pot, mode, row_cache):
+        campaign = ReplicaCampaign(
+            self.SPECS, self._factory(tet, pot), mode=mode,
+            row_cache=row_cache,
+        )
+        results = campaign.run()
+        return campaign, [(r.digest, r.time) for r in results]
+
+    def test_shared_cache_is_bit_identical_and_shared(
+        self, tet_small, nnp_small
+    ):
+        _, off = self._run(tet_small, nnp_small, "shared", "off")
+        campaign, on = self._run(tet_small, nnp_small, "shared", "on")
+        assert on == off
+        # One campaign-wide cache, hit by every replica.
+        assert campaign.row_cache is not None
+        assert campaign.row_cache.hits > 0
+        assert campaign.summary()["row_cache_hit_rate"] > 0.0
+
+    def test_sequential_mode_matches_too(self, tet_small, nnp_small):
+        _, off = self._run(tet_small, nnp_small, "sequential", "off")
+        _, on = self._run(tet_small, nnp_small, "sequential", "on")
+        assert on == off
+
+    def test_unknown_mode_rejected_eagerly(self, tet_small, nnp_small):
+        with pytest.raises(ValueError, match="allowed modes"):
+            ReplicaCampaign(
+                self.SPECS, self._factory(tet_small, nnp_small),
+                row_cache="perhaps",
+            )
