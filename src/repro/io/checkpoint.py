@@ -227,10 +227,11 @@ _CYCLE_FIELDS = (
     "invalidate_seconds",
     "exchange_seconds",
     # Appended after the phase timings (append-only: old archives load
-    # with these three defaulting to 0 via the zip-stops-at-shortest rule).
+    # with these defaulting to 0 via the zip-stops-at-shortest rule).
     "row_cache_hits",
     "row_cache_misses",
     "row_cache_evictions",
+    "exchange_wait_seconds",
 )
 
 _COMM_FIELDS = ("messages_sent", "bytes_sent", "barriers", "collectives")
@@ -246,7 +247,16 @@ def save_parallel_checkpoint(path: str, sim) -> None:
     accumulated communicator statistics, and the per-cycle history.  Must be
     called between cycles (the sublattice protocol has no well-defined
     mid-cycle state).
+
+    Executor-transparent: under ``executor="process"`` the driver's shadow
+    ranks are synchronised from the worker snapshots first, so the archive
+    is byte-identical to one written by an inline run at the same cycle
+    (the executor itself is deliberately *not* stored — the resuming
+    caller chooses it).
     """
+    sync = getattr(sim, "sync_ranks", None)
+    if sync is not None:
+        sync()
     stats = sim.world.stats
     arrays = {
         "kind": np.array(["parallel"]),
@@ -314,6 +324,8 @@ def load_parallel_checkpoint(
     tet: TripleEncoding | None = None,
     fault_plan=None,
     backend=None,
+    executor: str = "inline",
+    workers=None,
 ):
     """Rebuild a :class:`SublatticeKMC` whose continuation is bit-exact.
 
@@ -321,7 +333,11 @@ def load_parallel_checkpoint(
     exactly as for the serial loader; ``fault_plan`` re-attaches a (stateful)
     :class:`~repro.parallel.faults.FaultPlan` so rollback-and-replay recovery
     does not re-trigger already-fired faults.  ``backend`` selects the array
-    backend of the resumed run (checkpoints themselves are backend-free).
+    backend of the resumed run (checkpoints themselves are backend-free), and
+    ``executor``/``workers`` the execution backend — archives are
+    executor-free, so a run saved under either executor resumes bit-exactly
+    under the other (the process pool forks only at the first cycle, after
+    this loader's state surgery).
     """
     from ..parallel.engine import CycleStats, SublatticeKMC
 
@@ -353,6 +369,8 @@ def load_parallel_checkpoint(
         fault_plan=fault_plan,
         backend=backend,
         row_cache=row_cache,
+        executor=executor,
+        workers=workers,
     )
     _restore_row_cache(sim.row_cache, data)
     sim.time = float(data["time"][0])

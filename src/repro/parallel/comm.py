@@ -57,6 +57,11 @@ class ProtocolError(RuntimeError):
         cycle: Optional[int] = None,
         transcript: Iterable[str] = (),
     ) -> None:
+        #: The raw message, before the addressing prefix is attached.  Kept
+        #: so pickling reconstructs through ``__init__`` without the detail
+        #: string re-prefixing itself on every round-trip (the process
+        #: executor ships these across worker pipes).
+        self.message = message
         self.rank = rank
         self.tag = tag
         self.cycle = cycle
@@ -65,6 +70,24 @@ class ProtocolError(RuntimeError):
         if self.transcript:
             detail += "\n  recent traffic:\n    " + "\n    ".join(self.transcript)
         super().__init__(detail)
+
+    def __reduce__(self):
+        return (
+            _rebuild_protocol_error,
+            (
+                type(self),
+                self.message,
+                self.rank,
+                self.tag,
+                self.cycle,
+                self.transcript,
+            ),
+        )
+
+
+def _rebuild_protocol_error(cls, message, rank, tag, cycle, transcript):
+    """Pickle helper: rebuild through the keyword-only constructor."""
+    return cls(message, rank=rank, tag=tag, cycle=cycle, transcript=transcript)
 
 
 @dataclass

@@ -1,0 +1,369 @@
+"""Process-parallel rank execution: pickle contracts, bit-identity, faults.
+
+The process executor's whole claim is that it is *invisible*: a fixed-seed
+trajectory, its kernel counters, and its comm transcript are bit-identical
+whether the rank loops run inline in the driver or on a persistent forked
+worker pool.  These tests pin that claim, plus the failure surface — every
+object that crosses the pipe must pickle faithfully, and a worker that
+really dies (SIGKILL, not an injected fault) must surface as a structured
+:class:`ProtocolError` instead of a hang.
+"""
+
+import os
+import pickle
+import signal
+
+import numpy as np
+import pytest
+
+from repro.campaign import occupancy_digest
+from repro.lattice import LatticeState
+from repro.parallel import (
+    CycleStats,
+    FaultEvent,
+    FaultPlan,
+    ProcComm,
+    ProtocolError,
+    SublatticeKMC,
+    resolve_workers,
+    run_resilient,
+)
+from repro.parallel.executor import _effective_cores
+from repro.parallel.ghost import GHOST_TAG
+
+#: The sublattice protocol needs 4 cells of sector width per rank; with 4
+#: ranks (grid (1, 2, 2)) that puts the floor at a 16^3 box.
+BOX = (16, 16, 16)
+N_CYCLES = 8
+
+
+def _alloy(seed=3, vac=0.003):
+    lat = LatticeState(BOX)
+    lat.randomize_alloy(np.random.default_rng(seed), 0.05, vac)
+    return lat
+
+def _sim(tet, pot, seed=5, n_ranks=4, **kw):
+    return SublatticeKMC(
+        _alloy(), pot, tet, n_ranks=n_ranks, temperature=900.0,
+        t_stop=2e-10, seed=seed, **kw,
+    )
+
+
+def _trajectory(sim, n_cycles=N_CYCLES):
+    """(digest, clock, per-cycle events, sectors) — the identity tuple."""
+    sim.run(n_cycles)
+    return (
+        occupancy_digest(sim.gather_global()),
+        sim.time,
+        [c.events for c in sim.cycles],
+        [c.sector for c in sim.cycles],
+    )
+
+
+# ----------------------------------------------------------------------
+# Satellite: everything that crosses the pipe must pickle faithfully.
+# ----------------------------------------------------------------------
+class TestPickleContracts:
+    def test_protocol_error_round_trip(self):
+        err = ProtocolError(
+            "recv contract violated", rank=2, tag=GHOST_TAG, cycle=7,
+            transcript=["send 0->2", "recv 2"],
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, ProtocolError)
+        assert clone.rank == 2
+        assert clone.tag == GHOST_TAG
+        assert clone.cycle == 7
+        assert list(clone.transcript) == ["send 0->2", "recv 2"]
+        assert clone.transcript == err.transcript
+        assert clone.message == err.message
+        assert str(clone) == str(err)
+
+    def test_protocol_error_str_is_stable_across_round_trips(self):
+        """Regression: the default ``RuntimeError`` reduce re-fed the
+        *formatted* detail string through ``__init__``, stacking a fresh
+        ``[rank=... tag=... cycle=...]`` prefix on every hop."""
+        err = ProtocolError("boom", rank=1, tag="t", cycle=3)
+        once = pickle.loads(pickle.dumps(err))
+        twice = pickle.loads(pickle.dumps(once))
+        assert str(twice) == str(err)
+        assert str(err).count("[rank=") == 1
+
+    def test_protocol_error_defaults_round_trip(self):
+        err = ProtocolError("plain")
+        clone = pickle.loads(pickle.dumps(err))
+        assert (clone.rank, clone.tag, clone.cycle) == (None, None, None)
+        assert str(clone) == str(err)
+        assert clone.message == "plain"
+
+    def test_fault_event_round_trip(self):
+        event = FaultEvent("drop", cycle=4, rank=1, tag=GHOST_TAG, count=2)
+        assert pickle.loads(pickle.dumps(event)) == event
+
+    def test_fault_plan_round_trip_preserves_fired_state(self):
+        plan = FaultPlan(
+            events=[
+                FaultEvent("drop", cycle=1, rank=0),
+                FaultEvent("kill", cycle=9, rank=2),
+            ],
+            p_drop=0.25, seed=42,
+        )
+        plan.action_for_send(1, 0, 1, "t")  # fire the one-shot drop
+        draws = plan._rng.random(3)  # advance the seeded stream
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.fired == plan.fired
+        assert clone.pending_events == plan.pending_events == 1
+        # The chaos stream resumes where it left off — recovery replays
+        # with the *same* plan object semantics on both sides of the pipe.
+        assert np.array_equal(clone._rng.random(3), plan._rng.random(3))
+        assert not np.array_equal(clone._rng.random(3), draws)
+
+    def test_cycle_stats_round_trip(self):
+        stats = CycleStats(
+            sector=3, events=17, rejected=2, compute_seconds=0.125,
+            comm_messages=20, comm_bytes=424, cache_hits=5,
+            exchange_wait_seconds=0.003,
+        )
+        assert pickle.loads(pickle.dumps(stats)) == stats
+
+
+# ----------------------------------------------------------------------
+# Knob validation.
+# ----------------------------------------------------------------------
+class TestResolveWorkers:
+    def test_inline_has_no_pool(self):
+        assert resolve_workers("inline", None, 8) == 0
+
+    def test_workers_with_inline_is_an_error(self):
+        with pytest.raises(ValueError, match="only valid with executor='process'"):
+            resolve_workers("inline", 4, 8)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_workers("threads", None, 8)
+
+    def test_process_defaults_to_one_worker_per_rank(self):
+        assert resolve_workers("process", None, 8) == 8
+
+    def test_pool_capped_at_rank_count(self):
+        assert resolve_workers("process", 64, 8) == 8
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            resolve_workers("process", 0, 8)
+
+    def test_engine_rejects_workers_with_inline(self, tet_small, eam_small):
+        with pytest.raises(ValueError, match="only valid with executor='process'"):
+            _sim(tet_small, eam_small, workers=4)
+
+
+# ----------------------------------------------------------------------
+# The worker-side comm endpoint honours the SimComm surface.
+# ----------------------------------------------------------------------
+class TestProcComm:
+    def test_recv_all_returns_delivered_messages_in_order(self):
+        comm = ProcComm(rank=1)
+        comm.deliver("t", [(0, "a"), (2, "b")])
+        assert comm.recv_all("t") == [(0, "a"), (2, "b")]
+        assert comm.recv_all("t") == []  # drained
+
+    def test_phase_contract_enforced(self):
+        comm = ProcComm(rank=1)
+        comm.deliver("t", [(0, "a"), (0, "dup")])
+        with pytest.raises(ProtocolError, match="phase"):
+            comm.recv_all("t", expected_sources=[0, 2])
+
+    def test_worker_side_send_is_forbidden(self):
+        with pytest.raises(ProtocolError, match="driver"):
+            ProcComm(rank=0).send(1, "t", b"x")
+
+    def test_barrier_is_counted(self):
+        comm = ProcComm(rank=0)
+        comm.barrier()
+        comm.barrier()
+        assert comm.local_stats.barriers == 2
+
+
+# ----------------------------------------------------------------------
+# The tentpole invariant: executor-independence of the trajectory.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def eam_reference(tet_small, eam_small):
+    sim = _sim(tet_small, eam_small)
+    identity = _trajectory(sim)
+    return identity, sim.summary(), sim.world.stats
+
+
+class TestBitIdentity:
+    def test_process_matches_inline(self, tet_small, eam_small, eam_reference):
+        identity, ref_summary, ref_stats = eam_reference
+        with _sim(tet_small, eam_small, executor="process") as sim:
+            assert _trajectory(sim) == identity
+            # The authoritative world stats are driver-side replays —
+            # byte counts, message counts and barriers all match.
+            assert sim.world.stats == ref_stats
+            summary = sim.summary()
+        for key in (
+            "events", "rejected", "cache_hits", "cache_misses",
+            "invalidations", "rates_evaluated", "selections",
+            "rate_batches", "batched_rows",
+        ):
+            assert summary[key] == ref_summary[key], key
+
+    def test_fewer_workers_than_ranks(self, tet_small, eam_small, eam_reference):
+        with _sim(tet_small, eam_small, executor="process", workers=2) as sim:
+            assert sim.n_workers == 2
+            assert _trajectory(sim) == eam_reference[0]
+
+    def test_ghosts_consistent_under_process_executor(self, tet_small, eam_small):
+        with _sim(tet_small, eam_small, executor="process") as sim:
+            sim.run(4)
+            assert sim.check_ghost_consistency()
+
+    def test_summary_reports_the_executor(self, tet_small, eam_small):
+        with _sim(tet_small, eam_small, executor="process", workers=2) as sim:
+            sim.run(2)
+            summary = sim.summary()
+        assert summary["executor"] == "process"
+        assert summary["workers"] == 2
+        assert summary["exchange_wait_seconds"] > 0.0
+        inline = _sim(tet_small, eam_small)
+        inline.run(2)
+        assert inline.summary()["executor"] == "inline"
+        assert inline.summary()["workers"] == 0
+
+    def test_close_is_idempotent_and_sim_survives(self, tet_small, eam_small):
+        sim = _sim(tet_small, eam_small, executor="process")
+        sim.run(2)
+        sim.close()
+        sim.close()
+        # Shadow state was synced on close-path gathers; reads still work.
+        assert occupancy_digest(sim.gather_global())
+
+
+class TestRowCacheMerge:
+    """Satellite: per-worker cache replicas fold into one monotonic total."""
+
+    TINY_MB = 64 * 16 / (1024.0 * 1024.0)
+
+    def _nnp_sim(self, tet, pot, **kw):
+        return _sim(
+            tet, pot, row_cache="on", row_cache_mb=self.TINY_MB, **kw
+        )
+
+    def test_merged_totals_match_inline_probes(self, tet_small, nnp_small):
+        inline = self._nnp_sim(tet_small, nnp_small)
+        identity = _trajectory(inline)
+        with self._nnp_sim(tet_small, nnp_small, executor="process") as sim:
+            assert _trajectory(sim) == identity
+            summary = sim.summary()
+        ref = inline.summary()
+        # The hit/miss *split* legitimately differs (each worker owns a
+        # forked replica, so cross-rank reuse becomes a local miss), but
+        # every probe is accounted for exactly once in the merged total.
+        probes = summary["row_cache_hits"] + summary["row_cache_misses"]
+        assert probes == ref["row_cache_hits"] + ref["row_cache_misses"]
+        assert probes > 0
+        assert summary["row_cache_hits"] > 0
+
+    def test_absorb_delta_rejects_negative_counts(self, tet_small, nnp_small):
+        sim = self._nnp_sim(tet_small, nnp_small)
+        with pytest.raises(ValueError, match="negative"):
+            sim.row_cache.absorb_delta(-1, 0, 0)
+
+    def test_footprint_comes_from_worker_replicas(self, tet_small, nnp_small):
+        with self._nnp_sim(
+            tet_small, nnp_small, executor="process", workers=2
+        ) as sim:
+            sim.run(4)
+            summary = sim.summary()
+            # Two forked replicas, each bounded by the full byte budget.
+            assert 0 < summary["row_cache_entries"]
+            assert summary["row_cache_bytes"] <= 2 * 64 * 16
+
+
+# ----------------------------------------------------------------------
+# Worker death and recovery.
+# ----------------------------------------------------------------------
+class TestWorkerDeath:
+    def test_sigkill_surfaces_as_structured_error(self, tet_small, eam_small):
+        sim = _sim(tet_small, eam_small, executor="process")
+        try:
+            sim.run(1)  # spin the pool up
+            victim = sim._executor.worker_pids()[1]
+            os.kill(victim, signal.SIGKILL)
+            with pytest.raises(ProtocolError) as excinfo:
+                sim.run(3)
+            err = excinfo.value
+            assert err.tag == "worker"
+            assert err.rank is not None
+            assert err.cycle is not None
+            assert "died unexpectedly" in str(err)
+            # The error itself must survive the pipe it arrived through.
+            assert str(pickle.loads(pickle.dumps(err))) == str(err)
+        finally:
+            sim.close()
+
+    def test_broken_pool_stays_broken_until_rebuilt(self, tet_small, eam_small):
+        sim = _sim(tet_small, eam_small, executor="process")
+        try:
+            sim.run(1)
+            os.kill(sim._executor.worker_pids()[0], signal.SIGKILL)
+            with pytest.raises(ProtocolError):
+                sim.run(3)
+            with pytest.raises(ProtocolError, match="broken"):
+                sim.cycle()
+        finally:
+            sim.close()
+
+    def test_run_resilient_recovers_injected_kill(
+        self, tmp_path, tet_small, eam_small, eam_reference
+    ):
+        """A scripted rank kill under the process executor rolls back and
+        replays to the exact fault-free inline trajectory."""
+        plan = FaultPlan(events=[FaultEvent("kill", cycle=4, rank=1)])
+        sim = _sim(
+            tet_small, eam_small, fault_plan=plan, executor="process",
+        )
+        path = str(tmp_path / "resilient.npz")
+        sim, recoveries = run_resilient(
+            sim, N_CYCLES, path, eam_small, tet=tet_small, checkpoint_every=3
+        )
+        try:
+            assert recoveries == 1
+            assert sim.executor_kind == "process"
+            assert sim.n_workers == 4
+            digest, clock, events, sectors = eam_reference[0]
+            assert occupancy_digest(sim.gather_global()) == digest
+            assert sim.time == clock
+            assert [c.events for c in sim.cycles] == events
+        finally:
+            sim.close()
+
+    def test_run_resilient_recovers_real_worker_death(
+        self, tmp_path, tet_small, eam_small, eam_reference
+    ):
+        """SIGKILL a live worker mid-campaign; the recovery driver rebuilds
+        the pool from the checkpoint and finishes on-trajectory."""
+        sim = _sim(tet_small, eam_small, executor="process")
+        path = str(tmp_path / "hardkill.npz")
+        sim, _ = run_resilient(
+            sim, 4, path, eam_small, tet=tet_small, checkpoint_every=2
+        )
+        os.kill(sim._executor.worker_pids()[2], signal.SIGKILL)
+        sim, recoveries = run_resilient(
+            sim, N_CYCLES - 4, path, eam_small, tet=tet_small,
+            checkpoint_every=2,
+        )
+        try:
+            assert recoveries >= 1
+            digest, clock, events, sectors = eam_reference[0]
+            assert occupancy_digest(sim.gather_global()) == digest
+            assert sim.time == clock
+            assert [c.events for c in sim.cycles] == events
+        finally:
+            sim.close()
+
+
+def test_effective_cores_positive():
+    assert _effective_cores() >= 1

@@ -19,8 +19,10 @@ import pytest
 from repro.campaign import ReplicaCampaign, ReplicaSpec, occupancy_digest
 from repro.core.engine import TensorKMCEngine
 from repro.lattice import LatticeState
+from repro.parallel import SublatticeKMC
 
 N_STEPS = 40
+N_CYCLES = 6
 
 
 def _torch_available() -> bool:
@@ -170,3 +172,90 @@ class TestRowCacheJoinsTheMatrix:
             # enters the batched dedup path, so the cache is never probed
             # there; every batched combo must actually exercise it.
             assert counters["row_cache_hits"] > 0
+
+
+# ----------------------------------------------------------------------
+# The process executor joins the matrix: where the rank loops *run* is
+# one more orthogonal mode, and it must be trajectory-invisible across
+# every combination of the others.
+# ----------------------------------------------------------------------
+PARALLEL_REBUILDS = ("auto", "full", "delta")
+
+
+def _parallel_sim(tet, pot, backend, rebuild_path, hot_path, **kw):
+    # 4 ranks need >= 4 cells of sector width per rank: 16^3 is the floor.
+    lattice = LatticeState((16, 16, 16))
+    lattice.randomize_alloy(np.random.default_rng(3), 0.05, 0.003)
+    sim = SublatticeKMC(
+        lattice, pot, tet, n_ranks=4, temperature=900.0, t_stop=2e-10,
+        seed=5, backend=backend, rebuild_path=rebuild_path, **kw,
+    )
+    if hot_path != "vectorized":
+        for rank in sim.ranks:
+            rank.kernel.set_hot_path(hot_path)
+    return sim
+
+
+def _parallel_identity(sim):
+    sim.run(N_CYCLES)
+    try:
+        return (
+            occupancy_digest(sim.gather_global()),
+            sim.time,
+            tuple(c.events for c in sim.cycles),
+        )
+    finally:
+        sim.close()
+
+
+class TestProcessExecutorJoinsTheMatrix:
+    @pytest.fixture(scope="class")
+    def parallel_reference(self, tet_small, eam_small):
+        """Inline default-mode identity every process combo must replay."""
+        return _parallel_identity(
+            _parallel_sim(tet_small, eam_small, None, "auto", "vectorized")
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("hot_path", HOT_PATHS)
+    @pytest.mark.parametrize("rebuild_path", PARALLEL_REBUILDS)
+    def test_process_replays_inline_trajectory(
+        self, tet_small, eam_small, parallel_reference, backend, hot_path,
+        rebuild_path,
+    ):
+        _skip_invalid(rebuild_path, hot_path)
+        got = _parallel_identity(
+            _parallel_sim(
+                tet_small, eam_small, backend, rebuild_path, hot_path,
+                executor="process",
+            )
+        )
+        if backend == "torch":
+            torch_ref = _parallel_identity(
+                _parallel_sim(
+                    tet_small, eam_small, "torch", rebuild_path, hot_path
+                )
+            )
+            assert got == torch_ref
+        else:
+            assert got == parallel_reference
+
+    @pytest.mark.parametrize("row_cache", ("off", "on"))
+    def test_row_cache_rows_join_the_matrix(
+        self, tet_small, nnp_small, row_cache
+    ):
+        """NNP rows: the shared inline cache and the per-worker forked
+        replicas must both be bitwise inert."""
+        kw = {"row_cache": row_cache}
+        if row_cache == "on":
+            kw["row_cache_mb"] = 64 * 16 / (1024.0 * 1024.0)
+        inline = _parallel_identity(
+            _parallel_sim(tet_small, nnp_small, None, "auto", "vectorized", **kw)
+        )
+        process = _parallel_identity(
+            _parallel_sim(
+                tet_small, nnp_small, None, "auto", "vectorized",
+                executor="process", **kw,
+            )
+        )
+        assert process == inline
